@@ -1,0 +1,44 @@
+"""Bench: Figure 3 — convergence curves under transfer settings."""
+
+import numpy as np
+
+from repro.data import downstream_names
+from repro.experiments import figure3_convergence as mod
+
+from .conftest import emit, run_once
+
+
+def test_figure3_convergence(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("figure3", mod.render(results))
+    curves = results["curves"]
+
+    def epoch1(target, label):
+        return curves[target][label][0][1]
+
+    def best(target, label):
+        return max(v for _, v in curves[target][label])
+
+    def best_epoch(target, label):
+        series = curves[target][label]
+        values = [v for _, v in series]
+        return series[values.index(max(values))][0]
+
+    targets = downstream_names()
+    # Paper shapes, averaged over the 10 targets:
+    # 1) pre-trained variants start far above from-scratch at epoch 1;
+    pt_start = np.mean([epoch1(t, "w. PT") for t in targets])
+    scratch_start = np.mean([epoch1(t, "w/o PT") for t in targets])
+    assert pt_start > 1.5 * max(scratch_start, 1e-4)
+    # 2) full transfer reaches its best within a few epochs, much earlier
+    #    than from-scratch training reaches its own best;
+    pt_best_ep = np.mean([best_epoch(t, "w. PT") for t in targets])
+    scratch_best_ep = np.mean([best_epoch(t, "w/o PT") for t in targets])
+    assert pt_best_ep < scratch_best_ep
+    # 3) transferring item encoders tracks full transfer far better than
+    #    transferring the user encoder does.
+    item_best = np.mean([best(t, "w. PT-I") for t in targets])
+    user_best = np.mean([best(t, "w. PT-U") for t in targets])
+    full_best = np.mean([best(t, "w. PT") for t in targets])
+    assert item_best > user_best
+    assert item_best > 0.8 * full_best

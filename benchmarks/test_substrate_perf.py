@@ -1,0 +1,111 @@
+"""Micro-benchmarks of the numpy substrate's hot paths.
+
+Not a paper table — these time the building blocks every experiment cell
+spends its budget on (transformer block forward/backward, the shared
+InfoNCE primitive, item encoding, dataset generation), so performance
+regressions in the substrate are visible in CI.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import PMMRec, PMMRecConfig
+from repro.core.losses import batch_structure
+from repro.data import build_dataset, pad_sequences
+from repro.data.catalog import _build_dataset_cached
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("bili_food", profile="smoke")
+
+
+def test_perf_transformer_block_forward_backward(benchmark):
+    block = nn.TransformerBlock(32, 4)
+    x = np.random.default_rng(0).normal(size=(32, 16, 32))
+
+    def step():
+        t = Tensor(x, requires_grad=True)
+        out = (block(t) ** 2.0).sum()
+        out.backward()
+        return float(out.data)
+
+    benchmark(step)
+
+
+def test_perf_info_nce(benchmark):
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=(256, 256))
+    positive = np.eye(256, dtype=bool)
+    candidate = rng.random((256, 256)) > 0.2
+    candidate |= positive
+
+    def step():
+        t = Tensor(scores, requires_grad=True)
+        loss = nn.info_nce(t, positive, candidate)
+        loss.backward()
+        return loss.item()
+
+    benchmark(step)
+
+
+def test_perf_gru_unroll(benchmark):
+    gru = nn.GRU(32, 32)
+    x = np.random.default_rng(0).normal(size=(16, 20, 32))
+
+    def step():
+        return float(gru(Tensor(x)).data.sum())
+
+    benchmark(step)
+
+
+def test_perf_pmmrec_item_encoding(benchmark, dataset):
+    model = PMMRec(PMMRecConfig(seed=0))
+    model.eval()
+    ids = np.arange(1, dataset.num_items + 1)
+
+    def step():
+        with nn.no_grad():
+            return float(model.encode_items(dataset, ids).sequence.data.sum())
+
+    benchmark(step)
+
+
+def test_perf_pmmrec_training_step(benchmark, dataset):
+    model = PMMRec(PMMRecConfig(seed=0))
+    opt = nn.AdamW([p for p in model.parameters() if p.requires_grad],
+                   lr=1e-3)
+    batch = pad_sequences(dataset.split.train[:16], max_len=20)
+
+    def step():
+        opt.zero_grad()
+        loss, _ = model.training_loss(dataset, batch.item_ids, batch.mask)
+        loss.backward()
+        opt.step()
+        return float(loss.data)
+
+    benchmark(step)
+
+
+def test_perf_batch_structure(benchmark):
+    rng = np.random.default_rng(0)
+    ids = rng.integers(1, 400, size=(64, 25))
+    mask = rng.random((64, 25)) > 0.2
+
+    def step():
+        return batch_structure(ids, mask)[0].shape[0]
+
+    benchmark(step)
+
+
+def test_perf_dataset_generation(benchmark):
+    """Full pipeline: world rollout + 5-core filter + rendering + splits."""
+    def step():
+        _build_dataset_cached.cache_clear()
+        ds = _build_dataset_cached("kwai_food", "smoke", 0)
+        return ds.num_items
+
+    result = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert result > 0

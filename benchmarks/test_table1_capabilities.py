@@ -1,0 +1,17 @@
+"""Bench: Table I — supported transfer settings."""
+
+from repro.experiments import table1_capabilities as mod
+
+from .conftest import emit, run_once
+
+
+def test_table1_capabilities(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table1", mod.render(results))
+    rows = results["rows"]
+    # Paper shape: PMMRec supports every setting; text-only transferables
+    # support exactly the text column.
+    assert all(v == "yes" for v in rows["PMMRec (ours)"])
+    assert rows["UniSRec"] == ["-", "-", "-", "yes", "-"]
+    assert rows["VQRec"] == ["-", "-", "-", "yes", "-"]
+    assert rows["MoRec"][-2:] == ["yes", "yes"]

@@ -1,0 +1,25 @@
+"""Bench: Table II — dataset statistics after preprocessing."""
+
+from repro.data import downstream_names, source_names
+from repro.experiments import table2_datasets as mod
+
+from .conftest import emit, run_once
+
+
+def test_table2_datasets(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table2", mod.render(results))
+    rows = results["rows"]
+    # Every dataset of the paper is present and non-degenerate.
+    for name in source_names():
+        assert rows["-" + name]["users"] > 0
+    for name in downstream_names():
+        assert rows[name]["users"] > 0
+    # Paper shape: the fused source corpus dwarfs each downstream set and
+    # Bili/HM sequences are roughly twice as long as Kwai/Amazon ones.
+    smallest_source = min(rows["-" + n]["actions"] for n in source_names())
+    largest_downstream = max(rows[n]["actions"] for n in downstream_names())
+    assert rows["Source"]["actions"] >= 3 * largest_downstream
+    assert smallest_source > 0
+    assert rows["-bili"]["avg_length"] > 1.5 * rows["-kwai"]["avg_length"]
+    assert rows["-hm"]["avg_length"] > 1.5 * rows["-amazon"]["avg_length"]

@@ -1,0 +1,40 @@
+"""Bench: Table III — source-dataset comparison of all 9 methods."""
+
+import numpy as np
+
+from repro.data import source_names
+from repro.experiments import table3_source as mod
+
+from .conftest import emit, run_once
+
+
+def _mean_over_sources(table, method, metric="hr@10"):
+    return float(np.mean([table[ds][method][metric]
+                          for ds in source_names()]))
+
+
+def test_table3_source(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table3", mod.render(results))
+    table = results["table"]
+
+    pmmrec = _mean_over_sources(table, "pmmrec")
+    sasrec = _mean_over_sources(table, "sasrec")
+    carca = _mean_over_sources(table, "carca++")
+    morec = _mean_over_sources(table, "morec++")
+    unisrec = _mean_over_sources(table, "unisrec")
+    vqrec = _mean_over_sources(table, "vqrec")
+    best_baseline = max(_mean_over_sources(table, m)
+                        for m in mod.METHODS if m != "pmmrec")
+
+    # Paper shapes (aggregated over the 4 sources to absorb small-scale
+    # noise). Known deviation, documented in EXPERIMENTS.md: GRU4Rec is
+    # anomalously strong at this dense small-catalogue scale, so PMMRec is
+    # asserted on par with the paper's architectural reference (SASRec)
+    # and the multi-modal baselines rather than strictly best overall.
+    assert pmmrec >= 0.90 * best_baseline
+    assert pmmrec >= 0.95 * sasrec
+    assert pmmrec >= 0.93 * carca and pmmrec >= 0.93 * morec
+    assert max(carca, morec) >= 0.95 * sasrec
+    assert unisrec < sasrec
+    assert unisrec < pmmrec and vqrec < pmmrec

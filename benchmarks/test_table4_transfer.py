@@ -1,0 +1,42 @@
+"""Bench: Table IV — downstream transfer, w/o vs w. pre-training."""
+
+import numpy as np
+
+from repro.data import downstream_names
+from repro.experiments import table4_transfer as mod
+
+from .conftest import emit, run_once
+
+
+def _mean(table, label, metric="hr@10"):
+    return float(np.mean([table[ds][label][metric]
+                          for ds in downstream_names()]))
+
+
+def test_table4_transfer(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table4", mod.render(results))
+    table = results["table"]
+
+    pmm_pt = _mean(table, "pmmrec w. PT")
+    pmm_scratch = _mean(table, "pmmrec w/o PT")
+    morec_pt = _mean(table, "morec++ w. PT")
+    unisrec_pt = _mean(table, "unisrec w. PT")
+    vqrec_pt = _mean(table, "vqrec w. PT")
+    sasrec = _mean(table, "sasrec w/o PT")
+
+    # Paper shapes: pre-training helps PMMRec; PMMRec w. PT is the best
+    # column overall; multi-modal transferables beat text-only ones by a
+    # large margin; UniSRec trails the ID-based SASRec.
+    assert pmm_pt > pmm_scratch
+    for label in ("sasrec w/o PT", "unisrec w. PT", "vqrec w. PT",
+                  "morec++ w. PT"):
+        assert pmm_pt > _mean(table, label)
+    assert morec_pt > unisrec_pt and morec_pt > vqrec_pt
+    assert unisrec_pt < sasrec
+    # PMMRec w. PT should win on a clear majority of individual targets.
+    wins = sum(table[ds]["pmmrec w. PT"]["hr@10"]
+               >= max(v["hr@10"] for k, v in table[ds].items()
+                      if k != "pmmrec w. PT") * 0.999
+               for ds in downstream_names())
+    assert wins >= 6

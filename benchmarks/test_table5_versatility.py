@@ -1,0 +1,34 @@
+"""Bench: Table V — versatile transfer settings of PMMRec."""
+
+import numpy as np
+
+from repro.data import downstream_names
+from repro.experiments import table5_versatility as mod
+
+from .conftest import emit, run_once
+
+
+def _mean(table, label, metric="hr@10"):
+    return float(np.mean([table[ds][label][metric]
+                          for ds in downstream_names()]))
+
+
+def test_table5_versatility(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table5", mod.render(results))
+    table = results["table"]
+
+    full_pt = _mean(table, "M w. PT")
+    item_pt = _mean(table, "M w. PT-I")
+    user_pt = _mean(table, "M w. PT-U")
+    scratch = _mean(table, "M w/o PT")
+    text_pt = _mean(table, "T w. PT")
+    vision_pt = _mean(table, "V w. PT")
+
+    # Paper shapes: full transfer is the best setting; transferring the
+    # item encoders beats transferring the user encoder alone; single-
+    # modality transfer stays competitive (within reach of full transfer).
+    assert full_pt >= item_pt and full_pt >= user_pt
+    assert full_pt > scratch
+    assert item_pt > user_pt
+    assert min(text_pt, vision_pt) > 0.55 * full_pt

@@ -1,0 +1,44 @@
+"""Bench: Table VI — single-source cross-platform transfer."""
+
+import numpy as np
+
+from repro.data import downstream_names, source_names
+from repro.experiments import table6_single_source as mod
+
+from .conftest import emit, run_once
+
+
+def test_table6_single_source(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table6", mod.render(results))
+    table = results["table"]
+
+    # Paper shape 1: single-source pre-training is useful — for a clear
+    # majority of targets the best single source matches or beats training
+    # from scratch.
+    useful = 0
+    for target in downstream_names():
+        best_source = max(table[target][s]["hr@10"] for s in source_names())
+        if best_source >= 0.98 * table[target]["scratch"]["hr@10"]:
+            useful += 1
+    assert useful >= 7
+
+    # Paper shape 2: complex->simple transfer (Bili/Kwai sources on
+    # HM/Amazon targets) holds up — on average at least as good as
+    # training from scratch.
+    simple_targets = [t for t in downstream_names()
+                      if t.startswith(("hm", "amazon"))]
+    complex_gain = np.mean([
+        max(table[t]["bili"]["hr@10"], table[t]["kwai"]["hr@10"])
+        - table[t]["scratch"]["hr@10"]
+        for t in simple_targets])
+    assert complex_gain > -0.02
+
+    # Known deviation (documented in EXPERIMENTS.md): the paper's
+    # homogeneous-source diagonal is not reproduced at this scale — the
+    # largest/cleanest source (HM) is the most reliable donor instead. We
+    # assert the measured regularity so regressions are caught.
+    hm_wins = sum(table[t]["hm"]["hr@10"]
+                  >= 0.95 * max(table[t][s]["hr@10"] for s in source_names())
+                  for t in downstream_names())
+    assert hm_wins >= 6

@@ -1,0 +1,39 @@
+"""Bench: Table VII — cold-start comparison on the source datasets."""
+
+import numpy as np
+
+from repro.data import source_names
+from repro.experiments import table7_coldstart as mod
+
+from .conftest import emit, run_once
+
+
+def _mean(table, method, metric="hr@10"):
+    return float(np.mean([table[ds][method][metric]
+                          for ds in source_names()]))
+
+
+def test_table7_coldstart(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table7", mod.render(results))
+    table = results["table"]
+
+    sasrec = _mean(table, "sasrec")
+    text = _mean(table, "pmmrec-text")
+    vision = _mean(table, "pmmrec-vision")
+    full = _mean(table, "pmmrec")
+
+    # Known deviation (documented in EXPERIMENTS.md): the paper's ID-model
+    # collapse cannot manifest here, because the 5-core filter at this
+    # scale guarantees every "cold" item still has >=5 training
+    # occurrences — enough to train a 32-d ID embedding. What remains
+    # measurable, and is asserted: every modality-based variant stays in
+    # the same band as the ID model on the rare-item subset (no content
+    # disadvantage), and the text variant is at least on par with vision
+    # (the paper's information-density argument).
+    for variant, value in (("pmmrec", full), ("pmmrec-text", text),
+                           ("pmmrec-vision", vision)):
+        assert value > 0.5 * sasrec, variant
+    assert text >= 0.95 * vision
+    # Cold-start subsets are substantial on every source.
+    assert all(count > 10 for count in results["examples"].values())

@@ -1,0 +1,28 @@
+"""Bench: Table VIII — ablation of the PMMRec objectives."""
+
+import numpy as np
+
+from repro.experiments import table8_ablation as mod
+
+from .conftest import emit, run_once
+
+
+def _mean(table, label, metric="ndcg@10"):
+    return float(np.mean([table[ds][label][metric]
+                          for ds in mod.DATASETS]))
+
+
+def test_table8_ablation(benchmark):
+    results = run_once(benchmark, mod.run)
+    emit("table8", mod.render(results))
+    table = results["table"]
+
+    full = _mean(table, "PMMRec")
+    # Paper shape: the full objective is at or near the top on average;
+    # removing or degrading any single objective does not help.
+    for label in ("w/o NICL", "only VCL", "only NCL", "w/o NID", "w/o RCL"):
+        assert _mean(table, label) <= 1.06 * full, label
+    # And the full model strictly beats the weakest ablation.
+    weakest = min(_mean(table, label) for label in mod.VARIANTS
+                  if label != "PMMRec")
+    assert full > weakest

@@ -1,0 +1,82 @@
+"""Zero-shot cold start: why content beats IDs for unseen items.
+
+The paper's Table VII argument is that an ID model cannot represent items
+it has not trained on, while a content model encodes them from text and
+images alone. At reproduction scale the paper's own <10-occurrence
+construction cannot show this (5-core filtering guarantees every item
+several training occurrences — see EXPERIMENTS.md), so this example
+realizes the mechanism in its pure form: a slice of the catalogue is
+*removed from training entirely* and both models must rank those unseen
+items at evaluation time.
+
+Run with::
+
+    python examples/cold_start.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import PMMRec, PMMRecConfig, Trainer, TrainConfig, build_dataset
+from repro.baselines import SASRec
+from repro.data.splits import DatasetSplit, EvalExample
+from repro.eval import evaluate_model
+
+
+def holdout_items(dataset, fraction: float, rng: np.random.Generator):
+    """Split the catalogue into (warm, held-out) item-id sets."""
+    items = np.arange(1, dataset.num_items + 1)
+    held = rng.choice(items, size=max(int(fraction * len(items)), 1),
+                      replace=False)
+    return set(items) - set(held.tolist()), set(held.tolist())
+
+
+def main() -> None:
+    dataset = build_dataset("bili", profile="smoke")
+    rng = np.random.default_rng(7)
+    warm, held = holdout_items(dataset, fraction=0.2, rng=rng)
+    print(f"{dataset.name}: holding {len(held)} of {dataset.num_items} "
+          f"items out of training entirely")
+
+    # Training sequences with every held-out occurrence removed.
+    train = []
+    for seq in dataset.split.train:
+        kept = seq[np.isin(seq, list(warm))]
+        if len(kept) >= 2:
+            train.append(kept)
+    # Evaluation: rank a held-out item given the (full) preceding history.
+    cold_examples = []
+    for seq in dataset.sequences:
+        for pos in range(2, len(seq)):
+            if int(seq[pos]) in held:
+                cold_examples.append(
+                    EvalExample(history=seq[:pos], target=int(seq[pos])))
+    print(f"{len(cold_examples)} zero-shot ranking tasks\n")
+
+    zero_shot = replace(dataset,
+                        split=DatasetSplit(train=train,
+                                           valid=dataset.split.valid,
+                                           test=dataset.split.test))
+    config = TrainConfig(epochs=15, batch_size=16, patience=4)
+
+    sasrec = SASRec(dataset.num_items, dim=32, seed=0)
+    Trainer(sasrec, zero_shot, config, pretraining=False).fit()
+    id_cold = evaluate_model(sasrec, zero_shot, cold_examples, ks=(10,))
+
+    pmmrec = PMMRec(PMMRecConfig(seed=0))
+    Trainer(pmmrec, zero_shot, config, pretraining=True).fit()
+    mm_cold = evaluate_model(pmmrec, zero_shot, cold_examples, ks=(10,))
+
+    print(f"{'model':10s} {'unseen-item HR@10':>18s} {'NDCG@10':>9s}")
+    print(f"{'SASRec':10s} {id_cold['hr@10']:18.4f} "
+          f"{id_cold['ndcg@10']:9.4f}")
+    print(f"{'PMMRec':10s} {mm_cold['hr@10']:18.4f} "
+          f"{mm_cold['ndcg@10']:9.4f}")
+    print("\nExpected shape: the ID model collapses on items it never "
+          "trained on; the content model ranks them from text+image alone "
+          "(the mechanism behind the paper's Table VII).")
+
+
+if __name__ == "__main__":
+    main()

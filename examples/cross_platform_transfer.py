@@ -1,0 +1,59 @@
+"""Cross-platform transfer: pre-train on short-video, deploy on e-commerce.
+
+Reproduces the paper's headline workflow (Sec. III-E) at example scale:
+
+1. pre-train PMMRec on the Bili + Kwai short-video sources with the full
+   multi-task objective (DAP + NICL + NID + RCL);
+2. transfer components to the HM-Shoes e-commerce dataset under two
+   settings (full transfer vs user-encoder-only);
+3. fine-tune with DAP only and compare against training from scratch.
+
+Run with::
+
+    python examples/cross_platform_transfer.py
+"""
+
+from repro import (PMMRec, PMMRecConfig, Trainer, TrainConfig,
+                   build_dataset, fuse_datasets, transferred_model)
+from repro.eval import evaluate_model
+
+
+def main() -> None:
+    profile = "smoke"
+    sources = fuse_datasets([build_dataset("bili", profile=profile),
+                             build_dataset("kwai", profile=profile)])
+    print(f"pre-training corpus: {sources.num_users} users / "
+          f"{sources.num_items} items from 2 platforms")
+
+    pretrained = PMMRec(PMMRecConfig(seed=0))
+    fit = Trainer(pretrained, sources,
+                  TrainConfig(epochs=8, batch_size=32, patience=3),
+                  pretraining=True).fit()
+    print(f"pre-trained {fit.epochs_run} epochs "
+          f"(val HR@10 {fit.best_metric:.3f})\n")
+
+    target = build_dataset("hm_shoes", profile=profile)
+    finetune = TrainConfig(epochs=10, batch_size=16, patience=4)
+
+    rows = []
+    for label, setting in (("full transfer", "full"),
+                           ("user encoder only", "user_encoder")):
+        model = transferred_model(pretrained, setting)
+        result = Trainer(model, target, finetune, pretraining=False).fit()
+        test = evaluate_model(model, target, target.split.test, ks=(10,))
+        rows.append((label, result.curve[0][1], test["hr@10"]))
+
+    scratch = PMMRec(PMMRecConfig(seed=0))
+    result = Trainer(scratch, target, finetune, pretraining=True).fit()
+    test = evaluate_model(scratch, target, target.split.test, ks=(10,))
+    rows.append(("from scratch", result.curve[0][1], test["hr@10"]))
+
+    print(f"{'setting':20s} {'epoch-1 val':>12s} {'test HR@10':>11s}")
+    for label, first, hr in rows:
+        print(f"{label:20s} {first:12.3f} {hr:11.3f}")
+    print("\nExpected shape: full transfer starts highest at epoch 1 and "
+          "ends at or above the alternatives (paper Fig. 3 / Table V).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Versatility: deploy one multi-modal checkpoint as text- or vision-only.
+
+The paper's Sec. III-E: after multi-modal pre-training, PMMRec can be
+deployed on platforms that only have one modality by transferring the
+matching item encoder plus the user encoder. This example pre-trains one
+model and evaluates all three deployment modes on a downstream dataset.
+
+Run with::
+
+    python examples/modality_versatility.py
+"""
+
+from repro import (PMMRec, PMMRecConfig, Trainer, TrainConfig,
+                   build_dataset, transferred_model)
+from repro.eval import evaluate_model
+
+
+def main() -> None:
+    profile = "smoke"
+    source = build_dataset("bili", profile=profile)
+    pretrained = PMMRec(PMMRecConfig(seed=0))
+    Trainer(pretrained, source,
+            TrainConfig(epochs=8, batch_size=32, patience=3),
+            pretraining=True).fit()
+    print(f"pre-trained on {source.name}\n")
+
+    target = build_dataset("bili_cartoon", profile=profile)
+    finetune = TrainConfig(epochs=10, batch_size=16, patience=4)
+
+    print(f"{'deployment':28s} {'test HR@10':>10s} {'test NDCG@10':>13s}")
+    for label, setting in (("multi-modal (full)", "full"),
+                           ("text-only platform", "text_only"),
+                           ("vision-only platform", "vision_only")):
+        model = transferred_model(pretrained, setting)
+        Trainer(model, target, finetune, pretraining=False).fit()
+        test = evaluate_model(model, target, target.split.test, ks=(10,))
+        print(f"{label:28s} {test['hr@10']:10.4f} {test['ndcg@10']:13.4f}")
+    print("\nExpected shape: single-modality deployments stay competitive "
+          "with the full multi-modal one (paper Table V).")
+
+
+if __name__ == "__main__":
+    main()

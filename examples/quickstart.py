@@ -1,0 +1,49 @@
+"""Quickstart: train PMMRec on one dataset and recommend next items.
+
+Runs in well under a minute on the ``smoke`` profile::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PMMRec, PMMRecConfig, Trainer, TrainConfig, build_dataset
+from repro.eval import evaluate_model
+from repro.text import Tokenizer
+
+
+def main() -> None:
+    # A small single-category slice of the Kwai-like platform. Items carry
+    # text tokens and synthetic cover images; there are no usable item IDs.
+    dataset = build_dataset("kwai_food", profile="smoke")
+    print(f"dataset {dataset.name}: {dataset.num_users} users, "
+          f"{dataset.num_items} items")
+
+    model = PMMRec(PMMRecConfig(seed=0))
+    result = Trainer(model, dataset,
+                     TrainConfig(epochs=12, batch_size=16, patience=4),
+                     pretraining=True).fit()
+    print(f"trained {result.epochs_run} epochs, "
+          f"best validation HR@10 = {result.best_metric:.3f}")
+
+    metrics = evaluate_model(model, dataset, dataset.split.test, ks=(10, 20))
+    print("test metrics:", {k: round(v, 4) for k, v in metrics.items()})
+
+    # Recommend for one user: score the full catalogue given their history.
+    tokenizer = Tokenizer()
+    example = dataset.split.test[0]
+    scores = model.score_histories(dataset, [example.history])[0]
+    scores[0] = -np.inf                      # drop the padding column
+    top = np.argsort(-scores)[:5]
+    print("\nuser history (last 3 items):")
+    for item in example.history[-3:]:
+        print("   ", " ".join(tokenizer.decode(dataset.text_tokens[item])[:6]))
+    print("top-5 recommendations:")
+    for rank, item in enumerate(top, 1):
+        words = " ".join(tokenizer.decode(dataset.text_tokens[item])[:6])
+        marker = "  <- held-out next item" if item == example.target else ""
+        print(f"  {rank}. item {item:4d}  {words}{marker}")
+
+
+if __name__ == "__main__":
+    main()

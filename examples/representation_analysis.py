@@ -1,0 +1,73 @@
+"""Why PMMRec transfers: representation diagnostics.
+
+Opens the model up with `repro.analysis`: measures (1) how NICL training
+changes cross-modal alignment, (2) how much of the world's ground-truth
+semantics the item representations decode (linear probe R²), and (3)
+whether recommendations collapse onto popular items.
+
+Run with::
+
+    python examples/representation_analysis.py
+"""
+
+import numpy as np
+
+from repro import PMMRec, PMMRecConfig, Trainer, TrainConfig, build_dataset
+from repro.analysis import (alignment_score, coverage_at_k,
+                            item_frequencies, latent_probe_r2, modality_gap,
+                            popularity_correlation, rsa_correlation)
+import repro.nn as nn
+
+
+def modality_features(model, dataset):
+    ids = np.arange(1, dataset.num_items + 1)
+    model.eval()
+    with nn.no_grad():
+        enc = model.encode_items(dataset, ids)
+    model.train()
+    return enc.text_cls.data, enc.vision_cls.data, enc.sequence.data
+
+
+def main() -> None:
+    dataset = build_dataset("bili", profile="smoke")
+    model = PMMRec(PMMRecConfig(seed=0))
+
+    before_t, before_v, before_e = modality_features(model, dataset)
+    print("before training:")
+    print("  cross-modal alignment:", {k: round(v, 3) for k, v in
+                                       alignment_score(before_t,
+                                                       before_v).items()})
+    print(f"  modality gap: {modality_gap(before_t, before_v):.3f}")
+
+    Trainer(model, dataset, TrainConfig(epochs=10, batch_size=16,
+                                        patience=10),
+            pretraining=True).fit()
+
+    after_t, after_v, after_e = modality_features(model, dataset)
+    print("\nafter multi-task training (incl. NICL):")
+    print("  cross-modal alignment:", {k: round(v, 3) for k, v in
+                                       alignment_score(after_t,
+                                                       after_v).items()})
+    print(f"  modality gap: {modality_gap(after_t, after_v):.3f}")
+
+    latents = dataset.item_latents[1:]
+    print("\nhow much world semantics do the representations decode?")
+    print(f"  fused-rep linear probe R²: "
+          f"{latent_probe_r2(after_e, latents):.3f} "
+          f"(untrained: {latent_probe_r2(before_e, latents):.3f})")
+    print(f"  fused-rep RSA vs latents:  "
+          f"{rsa_correlation(after_e, latents):.3f}")
+
+    histories = [ex.history for ex in dataset.split.test]
+    scores = model.score_histories(dataset, histories)
+    freq = item_frequencies(dataset.split.train, dataset.num_items)
+    print("\nrecommendation diagnostics:")
+    print(f"  popularity correlation: "
+          f"{popularity_correlation(scores, freq):.3f}")
+    print(f"  catalogue coverage@10:  {coverage_at_k(scores, 10):.3f}")
+    print("\nExpected shape: alignment margin and probe R² rise with "
+          "training; coverage stays well above the popularity floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Run every table/figure of the reproduction and print the results.
+
+Usage::
+
+    python scripts/run_all_experiments.py [profile]
+
+Results are cached under .repro_cache/, so interrupted runs resume and
+re-runs are instant. This is the same code path the benchmark suite uses.
+"""
+
+import os
+import sys
+import time
+import traceback
+
+# Keep BLAS single-threaded: parallelism comes from the process pool.
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+from repro.experiments import ALL_TABLES
+
+
+def main() -> int:
+    profile = sys.argv[1] if len(sys.argv) > 1 else None
+    failures = 0
+    for name, module in ALL_TABLES.items():
+        start = time.time()
+        try:
+            results = module.run(profile=profile)
+            print(module.render(results))
+            print(f"[{name} done in {time.time() - start:.1f}s]\n", flush=True)
+        except Exception:
+            failures += 1
+            print(f"[{name} FAILED after {time.time() - start:.1f}s]")
+            traceback.print_exc()
+            print(flush=True)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""PMMRec — Pure Multi-Modality based Recommender System (ICDE 2024).
+
+A from-scratch reproduction of *"Multi-Modality is All You Need for
+Transferable Recommender Systems"* (Li et al.), including its numpy
+neural-network substrate, synthetic multi-platform data world, eight
+baseline recommenders and a benchmark harness regenerating every table
+and figure of the paper's evaluation. See README.md for a tour.
+
+Quickstart::
+
+    from repro import PMMRec, PMMRecConfig, build_dataset, Trainer, TrainConfig
+
+    dataset = build_dataset("kwai_food")
+    model = PMMRec(PMMRecConfig())
+    Trainer(model, dataset, TrainConfig(epochs=10)).fit()
+"""
+
+from .core import (PMMRec, PMMRecConfig, TRANSFER_SETTINGS,
+                   build_target_model, transfer_components,
+                   transferred_model)
+from .data import (build_dataset, downstream_names, fuse_datasets,
+                   source_names)
+from .eval import evaluate_model, evaluate_ranking
+from .train import TrainConfig, Trainer, TrainResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PMMRec", "PMMRecConfig",
+    "TRANSFER_SETTINGS", "transfer_components", "build_target_model",
+    "transferred_model",
+    "build_dataset", "fuse_datasets", "source_names", "downstream_names",
+    "evaluate_model", "evaluate_ranking",
+    "Trainer", "TrainConfig", "TrainResult",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""``repro.analysis`` — representation and recommendation diagnostics.
+
+Tools for *why* results look the way they do: cross-modal alignment and
+modality-gap measurements (the quantities NICL manipulates), RSA and
+linear probes against the world's ground-truth latents (how much
+semantics a model decoded), and popularity-bias diagnostics.
+"""
+
+from .alignment import alignment_score, anisotropy, modality_gap, uniformity
+from .popularity import (coverage_at_k, item_frequencies,
+                         mean_recommended_popularity, popularity_correlation)
+from .rsa import latent_probe_r2, pairwise_similarities, rsa_correlation
+
+__all__ = [
+    "alignment_score", "modality_gap", "anisotropy", "uniformity",
+    "rsa_correlation", "pairwise_similarities", "latent_probe_r2",
+    "item_frequencies", "popularity_correlation", "coverage_at_k",
+    "mean_recommended_popularity",
+]

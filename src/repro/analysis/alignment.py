@@ -1,0 +1,75 @@
+"""Cross-modal representation diagnostics.
+
+Quantifies the phenomena the paper's NICL objective is about: how close
+matched text/vision pairs are relative to mismatched ones, the "modality
+gap" between the two embedding clouds, and the anisotropy of a feature
+space (the pathology parametric whitening targets in UniSRec).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["alignment_score", "modality_gap", "anisotropy",
+           "uniformity"]
+
+
+def _normalize(features: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    return features / np.maximum(norms, 1e-12)
+
+
+def alignment_score(text_feats: np.ndarray,
+                    vision_feats: np.ndarray) -> dict[str, float]:
+    """Matched vs mismatched cross-modal cosine similarity.
+
+    Returns the mean cosine of matched pairs (row i with row i), the mean
+    over mismatched pairs, and their difference ``margin`` — the quantity
+    NICL training should increase.
+    """
+    t = _normalize(np.asarray(text_feats))
+    v = _normalize(np.asarray(vision_feats))
+    sims = t @ v.T
+    matched = float(np.mean(np.diag(sims)))
+    off = sims[~np.eye(len(sims), dtype=bool)]
+    mismatched = float(off.mean()) if off.size else 0.0
+    return {"matched": matched, "mismatched": mismatched,
+            "margin": matched - mismatched}
+
+
+def modality_gap(text_feats: np.ndarray, vision_feats: np.ndarray) -> float:
+    """Distance between the modality centroids on the unit sphere.
+
+    A large gap means the two modalities occupy different cones of the
+    embedding space (the well-documented contrastive "modality gap").
+    """
+    t = _normalize(np.asarray(text_feats)).mean(axis=0)
+    v = _normalize(np.asarray(vision_feats)).mean(axis=0)
+    return float(np.linalg.norm(t - v))
+
+
+def anisotropy(features: np.ndarray) -> float:
+    """Fraction of variance captured by the top principal direction.
+
+    1.0 means the space has collapsed onto a line; ``1/dim`` is perfectly
+    isotropic. Frozen pre-extracted features are typically far from
+    isotropic, which is why UniSRec whitens them.
+    """
+    centered = np.asarray(features) - np.asarray(features).mean(axis=0)
+    singular = np.linalg.svd(centered, compute_uv=False)
+    total = float((singular ** 2).sum())
+    if total == 0.0:
+        return 0.0
+    return float(singular[0] ** 2 / total)
+
+
+def uniformity(features: np.ndarray, t: float = 2.0) -> float:
+    """Wang & Isola's uniformity: log mean pairwise Gaussian potential.
+
+    Lower is more uniform (better spread on the sphere); contrastive
+    objectives trade alignment against this quantity.
+    """
+    f = _normalize(np.asarray(features))
+    sq_dists = ((f[:, None, :] - f[None, :, :]) ** 2).sum(axis=2)
+    mask = ~np.eye(len(f), dtype=bool)
+    return float(np.log(np.exp(-t * sq_dists[mask]).mean()))

@@ -1,0 +1,71 @@
+"""Popularity-bias and coverage diagnostics for recommendation outputs.
+
+Sequential recommenders can silently collapse onto popular items; these
+diagnostics make that visible: correlation between an item's score and
+its training frequency, the catalogue coverage of top-k lists, and the
+average popularity rank of recommended items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["item_frequencies", "popularity_correlation", "coverage_at_k",
+           "mean_recommended_popularity"]
+
+
+def item_frequencies(train_sequences: list[np.ndarray],
+                     num_items: int) -> np.ndarray:
+    """Training-set occurrence count per item id (index 0 = padding)."""
+    counts = np.zeros(num_items + 1)
+    for seq in train_sequences:
+        np.add.at(counts, np.asarray(seq), 1)
+    return counts
+
+
+def popularity_correlation(scores: np.ndarray,
+                           frequencies: np.ndarray) -> float:
+    """Spearman correlation between mean item score and item frequency.
+
+    Near 1.0 indicates the model is largely a popularity ranker.
+    """
+    mean_scores = np.asarray(scores)[:, 1:].mean(axis=0)
+    freq = np.asarray(frequencies)[1:]
+    if mean_scores.std() == 0.0 or freq.std() == 0.0:
+        return 0.0
+
+    def ranks(values):
+        order = np.argsort(values)
+        out = np.empty(len(values))
+        out[order] = np.arange(len(values))
+        return out
+
+    return float(np.corrcoef(ranks(mean_scores), ranks(freq))[0, 1])
+
+
+def coverage_at_k(scores: np.ndarray, k: int = 10) -> float:
+    """Fraction of the catalogue appearing in at least one top-k list."""
+    comparable = np.asarray(scores)[:, 1:]
+    num_items = comparable.shape[1]
+    k = min(k, num_items)
+    top = np.argpartition(-comparable, k - 1, axis=1)[:, :k]
+    return float(len(np.unique(top)) / num_items)
+
+
+def mean_recommended_popularity(scores: np.ndarray,
+                                frequencies: np.ndarray,
+                                k: int = 10) -> float:
+    """Average popularity percentile of the items in top-k lists.
+
+    0.5 would match uniform recommendation; values near 1.0 mean only the
+    most popular items are ever surfaced.
+    """
+    comparable = np.asarray(scores)[:, 1:]
+    freq = np.asarray(frequencies)[1:]
+    num_items = comparable.shape[1]
+    k = min(k, num_items)
+    order = np.argsort(freq)
+    percentile = np.empty(num_items)
+    percentile[order] = np.linspace(0.0, 1.0, num_items)
+    top = np.argpartition(-comparable, k - 1, axis=1)[:, :k]
+    return float(percentile[top].mean())

@@ -1,0 +1,73 @@
+"""``repro.baselines`` — the paper's eight comparison methods.
+
+Three groups (Sec. IV-A4): pure ID-based (GRURec, NextItNet, SASRec),
+ID-based with side features (FDSA, CARCA++), and transferable (UniSRec,
+VQRec, MoRec++). All share one training/scoring protocol so results
+isolate the representational question.
+"""
+
+from __future__ import annotations
+
+from ..data.catalog import SeqDataset
+from .base import (SequentialRecommender, frozen_text_features,
+                   frozen_vision_features)
+from .bert4rec import BERT4Rec
+from .carca import CARCAPlusPlus
+from .fdsa import FDSA
+from .grurec import GRURec
+from .markov import FPMC, MostPopular
+from .morec import MoRecPlusPlus
+from .nextitnet import NextItNet
+from .sasrec import SASRec
+from .unisrec import MoEAdaptor, UniSRec
+from .vqrec import ProductQuantizer, VQRec, kmeans
+
+__all__ = [
+    "SequentialRecommender", "frozen_text_features", "frozen_vision_features",
+    "GRURec", "NextItNet", "SASRec", "FDSA", "CARCAPlusPlus",
+    "BERT4Rec", "FPMC", "MostPopular",
+    "UniSRec", "VQRec", "MoRecPlusPlus", "MoEAdaptor", "ProductQuantizer",
+    "kmeans", "make_baseline", "BASELINE_NAMES", "TRANSFERABLE_BASELINES",
+]
+
+#: Baselines in the order of the paper's Table III columns.
+BASELINE_NAMES = ("grurec", "nextitnet", "sasrec", "fdsa", "carca++",
+                  "unisrec", "vqrec", "morec++")
+
+#: Methods whose parameters are shareable across datasets (no ID table).
+TRANSFERABLE_BASELINES = ("unisrec", "vqrec", "morec++")
+
+
+def make_baseline(name: str, dataset: SeqDataset, dim: int = 32,
+                  seed: int = 0) -> SequentialRecommender:
+    """Factory used by the experiment harness.
+
+    ID-based methods are sized to ``dataset``'s item catalogue; the
+    transferable ones are dataset-agnostic (``dataset`` is still accepted
+    for a uniform signature).
+    """
+    lowered = name.lower()
+    if lowered == "grurec":
+        return GRURec(dataset.num_items, dim=dim, seed=seed)
+    if lowered == "bert4rec":
+        return BERT4Rec(dataset.num_items, dim=dim, seed=seed)
+    if lowered == "fpmc":
+        return FPMC(dataset.num_items, dim=dim, seed=seed)
+    if lowered in ("mostpopular", "pop"):
+        return MostPopular(dataset.num_items)
+    if lowered == "nextitnet":
+        return NextItNet(dataset.num_items, dim=dim, seed=seed)
+    if lowered == "sasrec":
+        return SASRec(dataset.num_items, dim=dim, seed=seed)
+    if lowered == "fdsa":
+        return FDSA(dataset.num_items, dim=dim, seed=seed)
+    if lowered in ("carca", "carca++"):
+        return CARCAPlusPlus(dataset.num_items, dim=dim, seed=seed)
+    if lowered == "unisrec":
+        return UniSRec(dim=dim, seed=seed)
+    if lowered == "vqrec":
+        return VQRec(dim=dim, seed=seed)
+    if lowered in ("morec", "morec++"):
+        return MoRecPlusPlus(dim=dim, seed=seed)
+    raise KeyError(f"unknown baseline {name!r}; "
+                   f"choose from {BASELINE_NAMES}")

@@ -1,0 +1,149 @@
+"""Shared scaffolding for all baseline recommenders.
+
+Every baseline differs only in how it represents items and encodes
+sequences; training (dense auto-regressive prediction with in-batch
+negatives) and full-catalogue scoring are identical across methods — and
+identical to PMMRec's DAP term — so comparisons isolate the architectural
+question the paper studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.losses import batch_structure, dap_loss
+from ..data.catalog import SeqDataset
+from ..nn.ops import take_rows
+from ..nn.tensor import Tensor
+
+__all__ = ["SequentialRecommender", "frozen_text_features",
+           "frozen_vision_features"]
+
+_FEATURE_CACHE: dict[tuple[str, str, int], np.ndarray] = {}
+
+
+def frozen_text_features(dataset: SeqDataset, dim: int = 32) -> np.ndarray:
+    """Frozen, pre-extracted text features per item, ``(num_items+1, dim)``.
+
+    Stands in for the pre-extracted BERT embeddings UniSRec / VQRec / ZESRec
+    consume. Pre-extracted features are famously *non-contextualized and
+    anisotropic* (the very pathology UniSRec's parametric whitening targets),
+    so we reproduce that: mean-pooled raw token embeddings -- no transformer
+    pass, no task adaptation -- plus a dominant common direction. End-to-end
+    methods (MoRec++, PMMRec) fine-tune their encoders instead and therefore
+    see strictly better features; that asymmetry is the paper's footnote-7
+    explanation of why UniSRec/VQRec trail. Cached per dataset.
+    """
+    key = (dataset.name, "text", dataset.num_items)
+    if key not in _FEATURE_CACHE:
+        from ..data.catalog import get_world
+        from ..text import pretrained_text_encoder
+        encoder = pretrained_text_encoder(get_world(), dim=dim)
+        encoder.eval()
+        table = encoder.token_emb.weight.data
+        tokens = dataset.text_tokens                    # (I+1, T)
+        mask = (tokens != 0).astype(np.float64)
+        denom = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (table[tokens] * mask[:, :, None]).sum(axis=1) / denom
+        rng = np.random.default_rng(97)
+        anisotropy = rng.normal(size=dim)
+        anisotropy /= np.linalg.norm(anisotropy)
+        out = pooled + 1.5 * np.linalg.norm(pooled, axis=1,
+                                            keepdims=True) * anisotropy
+        out[0] = 0.0
+        _FEATURE_CACHE[key] = out
+    return _FEATURE_CACHE[key]
+
+
+def frozen_vision_features(dataset: SeqDataset, dim: int = 32) -> np.ndarray:
+    """Frozen, pre-extracted vision features (same contract as text).
+
+    Mean-pooled raw patch projections of the pre-trained ViT stem -- again
+    deliberately shallow compared to the end-to-end encoders.
+    """
+    key = (dataset.name, "vision", dataset.num_items)
+    if key not in _FEATURE_CACHE:
+        from ..data.catalog import get_world
+        from ..vision import pretrained_vision_encoder
+        from ..vision.patches import patchify
+        encoder = pretrained_vision_encoder(get_world(), dim=dim)
+        encoder.eval()
+        out = np.zeros((dataset.num_items + 1, dim))
+        with nn.no_grad():
+            for start in range(1, dataset.num_items + 1, 256):
+                ids = np.arange(start, min(start + 256,
+                                           dataset.num_items + 1))
+                patches = patchify(dataset.images_for(ids),
+                                   encoder.config.patch_size)
+                out[ids] = encoder.patch_proj(Tensor(patches)).data.mean(axis=1)
+        _FEATURE_CACHE[key] = out
+    return _FEATURE_CACHE[key]
+
+
+class SequentialRecommender(nn.Module):
+    """Base class: next-item training plus full-catalogue scoring.
+
+    Subclasses implement :meth:`item_representations` (ids → ``(N, d)``)
+    and :meth:`sequence_hidden` (``(B, L, d)`` reps + mask → hiddens).
+    """
+
+    def __init__(self, dim: int):
+        super().__init__()
+        self.dim = dim
+
+    # -- to be provided by subclasses -----------------------------------------
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    # -- shared protocol ----------------------------------------------------------
+
+    def training_loss(self, dataset: SeqDataset, item_ids: np.ndarray,
+                      mask: np.ndarray,
+                      pretraining: bool = True) -> tuple[Tensor, dict]:
+        """DAP objective with in-batch negatives (identical to Eq. 5)."""
+        unique_ids, inverse, owner = batch_structure(item_ids, mask)
+        reps = self.item_representations(dataset, unique_ids)
+        mask_f = Tensor(np.asarray(mask, dtype=np.float64)[:, :, None])
+        seq_reps = take_rows(reps, inverse) * mask_f
+        hidden = self.sequence_hidden(seq_reps, mask)
+        loss = dap_loss(hidden, reps, inverse, mask, owner)
+        return loss, {"dap": float(loss.data), "total": float(loss.data)}
+
+    def encode_catalog(self, dataset: SeqDataset,
+                       chunk_size: int = 256) -> np.ndarray:
+        """Representation matrix for all items, row 0 = padding."""
+        was_training = self.training
+        self.eval()
+        out = np.zeros((dataset.num_items + 1, self.dim))
+        with nn.no_grad():
+            for start in range(1, dataset.num_items + 1, chunk_size):
+                ids = np.arange(start, min(start + chunk_size,
+                                           dataset.num_items + 1))
+                out[ids] = self.item_representations(dataset, ids).data
+        self.train(was_training)
+        return out
+
+    def score_histories(self, dataset: SeqDataset,
+                        histories: list[np.ndarray],
+                        catalog: np.ndarray | None = None) -> np.ndarray:
+        """Full-catalogue next-item scores for each history."""
+        from ..data.batching import pad_sequences
+        if catalog is None:
+            catalog = self.encode_catalog(dataset)
+        batch = pad_sequences(histories, max_len=getattr(self, "max_seq_len",
+                                                         30))
+        was_training = self.training
+        self.eval()
+        with nn.no_grad():
+            reps = Tensor(catalog[batch.item_ids] * batch.mask[:, :, None])
+            hidden = self.sequence_hidden(reps, batch.mask).data
+        self.train(was_training)
+        last = batch.mask.sum(axis=1) - 1
+        final = hidden[np.arange(len(histories)), last]
+        return final @ catalog.T

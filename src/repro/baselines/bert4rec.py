@@ -1,0 +1,123 @@
+"""BERT4Rec baseline (Sun et al., CIKM'19) — bidirectional masked training.
+
+Discussed in the paper's related work as the bidirectional counterpart of
+SASRec: a Transformer without the causal mask, trained with the Cloze
+(masked item prediction) objective. At inference a mask token is appended
+after the history and its hidden state scores the next item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.losses import batch_structure
+from ..data.catalog import SeqDataset
+from ..nn.ops import info_nce
+from ..nn.tensor import Tensor
+from .base import SequentialRecommender
+
+__all__ = ["BERT4Rec"]
+
+
+class BERT4Rec(SequentialRecommender):
+    """ID embeddings + bidirectional Transformer + masked item prediction."""
+
+    def __init__(self, num_items: int, dim: int = 32, num_blocks: int = 2,
+                 num_heads: int = 4, max_seq_len: int = 33,
+                 mask_prob: float = 0.3, dropout: float = 0.1, seed: int = 0):
+        super().__init__(dim)
+        rng = np.random.default_rng(seed)
+        self.max_seq_len = max_seq_len
+        self.mask_prob = mask_prob
+        self.num_items = num_items
+        # One extra embedding row acts as the [MASK] token.
+        self.item_emb = nn.Embedding(num_items + 2, dim, padding_idx=0,
+                                     rng=rng)
+        self.mask_token = num_items + 1
+        self.pos_emb = nn.Embedding(max_seq_len, dim, rng=rng)
+        self.norm = nn.LayerNorm(dim)
+        self.drop = nn.Dropout(dropout)
+        self.blocks = nn.ModuleList([
+            nn.TransformerBlock(dim, num_heads, dropout=dropout, rng=rng)
+            for _ in range(num_blocks)])
+        self.final_norm = nn.LayerNorm(dim)
+        self._mask_rng = np.random.default_rng(seed + 1)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        return self.item_emb(item_ids)
+
+    def _encode(self, ids: np.ndarray, valid: np.ndarray) -> Tensor:
+        positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+        x = self.item_emb(ids) + self.pos_emb(positions)
+        x = self.drop(self.norm(x))
+        mask = nn.padding_mask(valid)          # bidirectional: no causal mask
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        # Used only by the shared scorer; reps arrive precomputed, so run
+        # the blocks directly over them (equivalent to _encode sans lookup).
+        positions = np.broadcast_to(np.arange(item_reps.shape[1]),
+                                    item_reps.shape[:2])
+        x = item_reps + self.pos_emb(positions)
+        x = self.drop(self.norm(x))
+        attn = nn.padding_mask(mask)
+        for block in self.blocks:
+            x = block(x, mask=attn)
+        return self.final_norm(x)
+
+    # -- masked-item training (Cloze) ----------------------------------------------
+
+    def training_loss(self, dataset: SeqDataset, item_ids: np.ndarray,
+                      mask: np.ndarray,
+                      pretraining: bool = True) -> tuple[Tensor, dict]:
+        ids = np.asarray(item_ids).copy()
+        valid = np.asarray(mask, dtype=bool)
+        unique_ids, inverse, _ = batch_structure(item_ids, mask)
+
+        # Mask a random subset of real positions (at least one per row).
+        to_mask = (self._mask_rng.random(ids.shape) < self.mask_prob) & valid
+        for row in range(ids.shape[0]):
+            if valid[row].any() and not to_mask[row].any():
+                choices = np.where(valid[row])[0]
+                to_mask[row, self._mask_rng.integers(len(choices))] = True
+        targets = inverse[to_mask]
+        ids[to_mask] = self.mask_token
+
+        hidden = self._encode(ids, valid)
+        rows = np.where(to_mask)
+        anchor = hidden[rows]                            # (M, d)
+        candidates = self.item_emb(unique_ids)           # (U, d)
+        scores = anchor @ candidates.swapaxes(0, 1)
+        positive = np.zeros(scores.shape, dtype=bool)
+        positive[np.arange(len(targets)), targets] = True
+        loss = info_nce(scores, positive)
+        return loss, {"cloze": float(loss.data), "total": float(loss.data)}
+
+    # -- inference -----------------------------------------------------------------
+
+    def score_histories(self, dataset: SeqDataset,
+                        histories: list[np.ndarray],
+                        catalog: np.ndarray | None = None) -> np.ndarray:
+        from ..data.batching import pad_sequences
+        if catalog is None:
+            catalog = self.encode_catalog(dataset)
+        # Append the mask token to each history; its hidden state is the
+        # next-item query (the BERT4Rec inference trick).
+        extended = [np.concatenate([h[-(self.max_seq_len - 1):],
+                                    [self.mask_token]])
+                    for h in histories]
+        batch = pad_sequences(extended)
+        was_training = self.training
+        self.eval()
+        with nn.no_grad():
+            hidden = self._encode(batch.item_ids, batch.mask).data
+        self.train(was_training)
+        last = batch.mask.sum(axis=1) - 1
+        query = hidden[np.arange(len(histories)), last]
+        return query @ catalog.T

@@ -1,0 +1,37 @@
+"""GRU4Rec baseline (Hidasi et al., 2015) — pure ID-based RNN recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.catalog import SeqDataset
+from ..nn.tensor import Tensor
+from .base import SequentialRecommender
+
+__all__ = ["GRURec"]
+
+
+class GRURec(SequentialRecommender):
+    """ID embeddings + GRU sequence encoder.
+
+    Like all pure ID-based methods, its item table is tied to one
+    dataset's id space and cannot transfer across platforms.
+    """
+
+    def __init__(self, num_items: int, dim: int = 32, seed: int = 0):
+        super().__init__(dim)
+        rng = np.random.default_rng(seed)
+        self.item_emb = nn.Embedding(num_items + 1, dim, padding_idx=0,
+                                     rng=rng)
+        self.gru = nn.GRU(dim, dim, rng=rng)
+        self.out_norm = nn.LayerNorm(dim)
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        """ID-embedding lookup (content is ignored)."""
+        return self.item_emb(item_ids)
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        """GRU unroll over the item sequence."""
+        return self.out_norm(self.gru(item_reps))

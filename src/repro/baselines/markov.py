@@ -1,0 +1,103 @@
+"""Markov-chain recommenders (FPMC-style) and the popularity reference.
+
+The paper's related work opens with Markov-chain methods (MDP, FPMC,
+Fossil) as the pre-deep-learning sequential recommenders. ``FPMC``
+factorizes the item-to-item transition matrix; ``MostPopular`` is the
+non-personalized floor every evaluation should be compared against.
+Neither uses content, so both are ID-bound and non-transferable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.losses import batch_structure
+from ..data.catalog import SeqDataset
+from ..nn.ops import info_nce
+from ..nn.tensor import Tensor
+
+__all__ = ["FPMC", "MostPopular"]
+
+
+class FPMC(nn.Module):
+    """Factorized personalized Markov chain (Rendle et al., WWW'10).
+
+    Simplified to its sequential core (no user factors, as is standard in
+    the leave-one-out comparison setting): the probability of item ``j``
+    following item ``i`` is factorized as ``v_i · w_j`` with separate
+    "previous" and "next" embedding tables.
+    """
+
+    def __init__(self, num_items: int, dim: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.prev_emb = nn.Embedding(num_items + 1, dim, padding_idx=0,
+                                     rng=rng)
+        self.next_emb = nn.Embedding(num_items + 1, dim, padding_idx=0,
+                                     rng=rng)
+
+    def training_loss(self, dataset: SeqDataset, item_ids: np.ndarray,
+                      mask: np.ndarray,
+                      pretraining: bool = True) -> tuple[Tensor, dict]:
+        """Softmax transition likelihood with in-batch candidates."""
+        ids = np.asarray(item_ids)
+        valid = np.asarray(mask, dtype=bool)
+        unique_ids, inverse, _ = batch_structure(item_ids, mask)
+        has_next = valid[:, :-1] & valid[:, 1:]
+        users, steps = np.where(has_next)
+        if len(users) == 0:
+            return Tensor(0.0), {"total": 0.0}
+        prev = self.prev_emb(ids[users, steps])
+        candidates = self.next_emb(unique_ids)
+        scores = prev @ candidates.swapaxes(0, 1)
+        positive = np.zeros(scores.shape, dtype=bool)
+        positive[np.arange(len(users)), inverse[users, steps + 1]] = True
+        loss = info_nce(scores, positive)
+        return loss, {"transition": float(loss.data),
+                      "total": float(loss.data)}
+
+    def score_histories(self, dataset: SeqDataset,
+                        histories: list[np.ndarray],
+                        catalog: np.ndarray | None = None) -> np.ndarray:
+        """Score all items from the last history item's transition row."""
+        last = np.array([int(h[-1]) for h in histories])
+        with nn.no_grad():
+            prev = self.prev_emb(last).data
+            nxt = self.next_emb.weight.data
+        return prev @ nxt.T
+
+
+class MostPopular:
+    """Non-personalized popularity ranking (training-set frequency).
+
+    Not a neural model at all — provided as the floor reference. Exposes
+    the same protocol as the learned recommenders.
+    """
+
+    def __init__(self, num_items: int):
+        self.num_items = num_items
+        self._counts = np.zeros(num_items + 1)
+
+    def parameters(self):
+        return iter(())
+
+    def training_loss(self, dataset: SeqDataset, item_ids: np.ndarray,
+                      mask: np.ndarray, pretraining: bool = True):
+        ids = np.asarray(item_ids)[np.asarray(mask, dtype=bool)]
+        np.add.at(self._counts, ids, 1)
+        return Tensor(0.0), {"total": 0.0}
+
+    def fit_counts(self, sequences: list[np.ndarray]) -> "MostPopular":
+        """Count item frequencies over full training sequences."""
+        for seq in sequences:
+            np.add.at(self._counts, np.asarray(seq), 1)
+        return self
+
+    def score_histories(self, dataset: SeqDataset,
+                        histories: list[np.ndarray],
+                        catalog: np.ndarray | None = None) -> np.ndarray:
+        scores = self._counts.copy()
+        scores[0] = -np.inf
+        return np.tile(scores, (len(histories), 1))

@@ -1,0 +1,42 @@
+"""NextItNet baseline (Yuan et al., WSDM'19) — dilated causal CNN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.catalog import SeqDataset
+from ..nn.tensor import Tensor
+from .base import SequentialRecommender
+
+__all__ = ["NextItNet"]
+
+
+class NextItNet(SequentialRecommender):
+    """ID embeddings + stacked dilated causal residual blocks.
+
+    Dilations double per block (1, 2, 4, …) so the receptive field grows
+    exponentially while staying strictly causal.
+    """
+
+    def __init__(self, num_items: int, dim: int = 32, num_blocks: int = 2,
+                 kernel_size: int = 3, seed: int = 0):
+        super().__init__(dim)
+        rng = np.random.default_rng(seed)
+        self.item_emb = nn.Embedding(num_items + 1, dim, padding_idx=0,
+                                     rng=rng)
+        self.blocks = nn.ModuleList([
+            nn.NextItNetResidualBlock(dim, kernel_size=kernel_size,
+                                      dilation=2 ** i, rng=rng)
+            for i in range(num_blocks)])
+        self.out_norm = nn.LayerNorm(dim)
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        return self.item_emb(item_ids)
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        x = item_reps
+        for block in self.blocks:
+            x = block(x)
+        return self.out_norm(x)

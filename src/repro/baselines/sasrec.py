@@ -1,0 +1,43 @@
+"""SASRec baseline (Kang & McAuley, ICDM'18) — causal Transformer over IDs.
+
+This is the paper's reference ID-based architecture: PMMRec's user encoder
+is "kept the same as SASRec for a fair comparison" (Sec. III-B4), so this
+class is literally ID embeddings + :class:`repro.core.UserEncoder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.user_encoder import UserEncoder
+from ..data.catalog import SeqDataset
+from ..nn.tensor import Tensor
+from .base import SequentialRecommender
+
+__all__ = ["SASRec"]
+
+
+class SASRec(SequentialRecommender):
+    """ID embeddings + unidirectional Transformer."""
+
+    def __init__(self, num_items: int, dim: int = 32, num_blocks: int = 2,
+                 num_heads: int = 4, max_seq_len: int = 32,
+                 dropout: float = 0.1, seed: int = 0):
+        super().__init__(dim)
+        rng = np.random.default_rng(seed)
+        self.max_seq_len = max_seq_len
+        self.item_emb = nn.Embedding(num_items + 1, dim, padding_idx=0,
+                                     rng=rng)
+        self.encoder = UserEncoder(dim, num_blocks=num_blocks,
+                                   num_heads=num_heads, max_len=max_seq_len,
+                                   dropout=dropout, rng=rng)
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        """ID-embedding lookup (content is ignored)."""
+        return self.item_emb(item_ids)
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        """Causal Transformer over the item sequence."""
+        return self.encoder(item_reps, mask)

@@ -1,0 +1,70 @@
+"""UniSRec baseline (Hou et al., KDD'22) — universal text representations.
+
+UniSRec consumes *frozen* pre-extracted text embeddings, maps them through
+parametric whitening and a mixture-of-experts adaptor, and trains a
+Transformer user encoder on top. Only text is used and the text encoder is
+never fine-tuned — the two design choices the paper identifies as the
+reason UniSRec underperforms in complex multi-modal scenarios (footnote 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.user_encoder import UserEncoder
+from ..data.catalog import SeqDataset
+from ..nn.ops import softmax
+from ..nn.tensor import Tensor, stack
+from .base import SequentialRecommender, frozen_text_features
+
+__all__ = ["UniSRec", "MoEAdaptor"]
+
+
+class MoEAdaptor(nn.Module):
+    """Mixture of parametric-whitening experts (UniSRec Eq. 5-7).
+
+    Each expert is an affine map (a learned whitening); a softmax gate over
+    the input mixes expert outputs.
+    """
+
+    def __init__(self, dim: int, num_experts: int = 4,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_experts = num_experts
+        self.experts = nn.ModuleList([nn.Linear(dim, dim, rng=rng)
+                                      for _ in range(num_experts)])
+        self.gate = nn.Linear(dim, num_experts, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Gate-weighted mixture of per-expert whitening maps."""
+        weights = softmax(self.gate(x), axis=-1)          # (N, E)
+        outputs = stack([expert(x) for expert in self.experts], axis=1)
+        return (outputs * weights.reshape(weights.shape[0],
+                                          self.num_experts, 1)).sum(axis=1)
+
+
+class UniSRec(SequentialRecommender):
+    """Frozen text embeddings -> whitening MoE -> Transformer."""
+
+    def __init__(self, dim: int = 32, num_experts: int = 4,
+                 num_blocks: int = 2, num_heads: int = 4,
+                 max_seq_len: int = 32, dropout: float = 0.1, seed: int = 0):
+        super().__init__(dim)
+        rng = np.random.default_rng(seed)
+        self.max_seq_len = max_seq_len
+        self.adaptor = MoEAdaptor(dim, num_experts=num_experts, rng=rng)
+        self.encoder = UserEncoder(dim, num_blocks=num_blocks,
+                                   num_heads=num_heads, max_len=max_seq_len,
+                                   dropout=dropout, rng=rng)
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        """Whitened mixture-of-experts map of frozen text features."""
+        features = frozen_text_features(dataset, dim=self.dim)
+        return self.adaptor(Tensor(features[np.asarray(item_ids)]))
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        """Causal Transformer over the adapted item features."""
+        return self.encoder(item_reps, mask)

@@ -1,0 +1,146 @@
+"""VQRec baseline (Hou et al., WWW'23) — vector-quantized item codes.
+
+VQRec maps each item's frozen text embedding to discrete codes with
+product quantization, then represents the item as the sum of learned code
+embeddings. The code-embedding table (not the text itself) is what
+transfers across domains. Codebooks are fitted with k-means on the source
+corpus and reused on targets, mirroring the original's OPQ pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.user_encoder import UserEncoder
+from ..data.catalog import SeqDataset
+from ..nn.tensor import Parameter, Tensor
+from .base import SequentialRecommender, frozen_text_features
+
+__all__ = ["VQRec", "kmeans", "ProductQuantizer"]
+
+
+def kmeans(data: np.ndarray, num_clusters: int, rng: np.random.Generator,
+           iterations: int = 15) -> np.ndarray:
+    """Plain Lloyd's k-means; returns ``(num_clusters, dim)`` centroids."""
+    data = np.asarray(data, dtype=np.float64)
+    if len(data) < num_clusters:
+        # Degenerate corpus: pad with jittered copies so shapes stay fixed.
+        reps = int(np.ceil(num_clusters / max(len(data), 1)))
+        data = np.concatenate([data] * reps)[:max(num_clusters, len(data))]
+        data = data + 1e-3 * rng.normal(size=data.shape)
+    centroids = data[rng.choice(len(data), num_clusters, replace=False)]
+    for _ in range(iterations):
+        dists = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assign = dists.argmin(axis=1)
+        for c in range(num_clusters):
+            members = data[assign == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+    return centroids
+
+
+class ProductQuantizer:
+    """Split vectors into groups and k-means-quantize each group."""
+
+    def __init__(self, dim: int, num_groups: int = 4, codes_per_group: int = 16,
+                 seed: int = 0):
+        if dim % num_groups != 0:
+            raise ValueError(f"dim={dim} not divisible by groups={num_groups}")
+        self.dim = dim
+        self.num_groups = num_groups
+        self.codes_per_group = codes_per_group
+        self.group_dim = dim // num_groups
+        self.codebooks: np.ndarray | None = None   # (G, K, group_dim)
+        self._seed = seed
+
+    def fit(self, features: np.ndarray) -> np.ndarray:
+        """Learn per-group codebooks; returns them ``(G, K, group_dim)``."""
+        rng = np.random.default_rng(self._seed)
+        books = np.zeros((self.num_groups, self.codes_per_group,
+                          self.group_dim))
+        for g in range(self.num_groups):
+            chunk = features[:, g * self.group_dim:(g + 1) * self.group_dim]
+            books[g] = kmeans(chunk, self.codes_per_group, rng)
+        self.codebooks = books
+        return books
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Assign each vector its nearest code per group, ``(N, G)``."""
+        if self.codebooks is None:
+            raise RuntimeError("ProductQuantizer.fit must be called first")
+        codes = np.zeros((len(features), self.num_groups), dtype=np.int64)
+        for g in range(self.num_groups):
+            chunk = features[:, g * self.group_dim:(g + 1) * self.group_dim]
+            dists = ((chunk[:, None, :]
+                      - self.codebooks[g][None, :, :]) ** 2).sum(axis=2)
+            codes[:, g] = dists.argmin(axis=1)
+        return codes
+
+
+class VQRec(SequentialRecommender):
+    """Discrete text codes -> summed code embeddings -> Transformer."""
+
+    def __init__(self, dim: int = 32, num_groups: int = 4,
+                 codes_per_group: int = 16, num_blocks: int = 2,
+                 num_heads: int = 4, max_seq_len: int = 32,
+                 dropout: float = 0.1, seed: int = 0):
+        super().__init__(dim)
+        rng = np.random.default_rng(seed)
+        self.max_seq_len = max_seq_len
+        self.quantizer = ProductQuantizer(dim, num_groups=num_groups,
+                                          codes_per_group=codes_per_group,
+                                          seed=seed)
+        self.code_emb = nn.Embedding(num_groups * codes_per_group, dim,
+                                     rng=rng)
+        # Codebooks live in the state dict (frozen) so that transferring a
+        # pre-trained VQRec carries its quantization space along.
+        self.codebooks = Parameter(np.zeros((num_groups, codes_per_group,
+                                             dim // num_groups)))
+        self.codebooks.requires_grad = False
+        self.encoder = UserEncoder(dim, num_blocks=num_blocks,
+                                   num_heads=num_heads, max_len=max_seq_len,
+                                   dropout=dropout, rng=rng)
+        self._code_cache: dict[str, np.ndarray] = {}
+        self._fitted = False
+
+    # -- quantization ------------------------------------------------------------
+
+    def fit_codebooks(self, dataset: SeqDataset) -> None:
+        """Fit PQ codebooks on a corpus (once, on the source data)."""
+        features = frozen_text_features(dataset, dim=self.dim)[1:]
+        self.codebooks.data = self.quantizer.fit(features)
+        self._fitted = True
+        self._code_cache.clear()
+
+    def _codes_for(self, dataset: SeqDataset) -> np.ndarray:
+        if not self._fitted:
+            if float(np.abs(self.codebooks.data).sum()) > 0:
+                # Codebooks arrived via a transferred state dict.
+                self.quantizer.codebooks = self.codebooks.data
+                self._fitted = True
+            else:
+                self.fit_codebooks(dataset)
+        if dataset.name not in self._code_cache:
+            features = frozen_text_features(dataset, dim=self.dim)
+            self._code_cache[dataset.name] = self.quantizer.encode(features)
+        return self._code_cache[dataset.name]
+
+    # -- recommender interface --------------------------------------------------------
+
+    def item_representations(self, dataset: SeqDataset,
+                             item_ids: np.ndarray) -> Tensor:
+        codes = self._codes_for(dataset)[np.asarray(item_ids)]   # (N, G)
+        offsets = (np.arange(self.quantizer.num_groups)
+                   * self.quantizer.codes_per_group)
+        return self.code_emb(codes + offsets).sum(axis=-2)
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        return self.encoder(item_reps, mask)
+
+    def load_state_dict(self, state, strict: bool = True) -> None:
+        super().load_state_dict(state, strict=strict)
+        if "codebooks" in state and float(np.abs(self.codebooks.data).sum()) > 0:
+            self.quantizer.codebooks = self.codebooks.data
+            self._fitted = True
+            self._code_cache.clear()

@@ -1,0 +1,162 @@
+"""Command-line interface for the PMMRec reproduction.
+
+Four subcommands mirror the library's main workflows::
+
+    repro datasets [--profile paper]            # Table II style statistics
+    repro train --dataset kwai_food             # train one model
+    repro transfer --sources bili,kwai --target hm_shoes --setting full
+    repro experiment table4 [--profile paper]   # regenerate a paper table
+
+Every subcommand is importable (``main(argv)``) for tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PMMRec (ICDE'24) reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="print dataset statistics")
+    datasets.add_argument("--profile", default=None,
+                          help="scale profile (smoke/paper/full)")
+
+    train = sub.add_parser("train", help="train a model on one dataset")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--model", default="pmmrec",
+                       help="pmmrec, pmmrec-text, pmmrec-vision or a "
+                            "baseline name (sasrec, morec++, ...)")
+    train.add_argument("--profile", default=None)
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=24)
+    train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", default=None,
+                       help="write a checkpoint to this path (npz)")
+
+    transfer = sub.add_parser("transfer",
+                              help="pre-train on sources, fine-tune on a target")
+    transfer.add_argument("--sources", required=True,
+                          help="comma-separated source datasets")
+    transfer.add_argument("--target", required=True)
+    transfer.add_argument("--setting", default="full",
+                          help="full / item_encoders / user_encoder / "
+                               "text_only / vision_only")
+    transfer.add_argument("--profile", default=None)
+    transfer.add_argument("--pretrain-epochs", type=int, default=10)
+    transfer.add_argument("--finetune-epochs", type=int, default=12)
+    transfer.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name",
+                            help="table1..table8 or figure3 (or 'all')")
+    experiment.add_argument("--profile", default=None)
+    experiment.add_argument("--workers", type=int, default=None)
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    from .experiments import table2_datasets
+    results = table2_datasets.run(profile=args.profile)
+    print(table2_datasets.render(results))
+    return 0
+
+
+def _make_model(name: str, dataset, seed: int):
+    if name.startswith("pmmrec"):
+        from .core import PMMRec, PMMRecConfig
+        modality = {"pmmrec": "multi", "pmmrec-text": "text",
+                    "pmmrec-vision": "vision"}[name]
+        return PMMRec(PMMRecConfig(modality=modality, seed=seed))
+    from .baselines import make_baseline
+    return make_baseline(name, dataset, seed=seed)
+
+
+def _cmd_train(args) -> int:
+    from .data import build_dataset
+    from .eval import evaluate_model
+    from .train import TrainConfig, Trainer
+    dataset = build_dataset(args.dataset, profile=args.profile)
+    model = _make_model(args.model, dataset, args.seed)
+    config = TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
+                         lr=args.lr, seed=args.seed, verbose=True)
+    multitask = args.model.startswith("pmmrec")
+    result = Trainer(model, dataset, config, pretraining=multitask).fit()
+    metrics = evaluate_model(model, dataset, dataset.split.test,
+                             ks=(10, 20, 50))
+    print(f"best val {config.metric}: {result.best_metric:.4f} "
+          f"(epoch {result.best_epoch}/{result.epochs_run})")
+    print("test:", {k: round(v, 4) for k, v in metrics.items()})
+    if args.save:
+        from .nn.serialization import save_checkpoint
+        save_checkpoint(model, args.save)
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _cmd_transfer(args) -> int:
+    from .core import PMMRec, PMMRecConfig, transferred_model
+    from .data import build_dataset, fuse_datasets
+    from .eval import evaluate_model
+    from .train import TrainConfig, Trainer
+    names = [s.strip() for s in args.sources.split(",") if s.strip()]
+    sources = [build_dataset(n, profile=args.profile) for n in names]
+    corpus = fuse_datasets(sources) if len(sources) > 1 else sources[0]
+    print(f"pre-training on {', '.join(names)} "
+          f"({corpus.num_users} users / {corpus.num_items} items)")
+    model = PMMRec(PMMRecConfig(seed=args.seed))
+    Trainer(model, corpus,
+            TrainConfig(epochs=args.pretrain_epochs, batch_size=32,
+                        seed=args.seed, verbose=True),
+            pretraining=True).fit()
+
+    target = build_dataset(args.target, profile=args.profile)
+    deployed = transferred_model(model, args.setting)
+    result = Trainer(deployed, target,
+                     TrainConfig(epochs=args.finetune_epochs, batch_size=24,
+                                 seed=args.seed, verbose=True),
+                     pretraining=False).fit()
+    metrics = evaluate_model(deployed, target, target.split.test, ks=(10,))
+    print(f"[{args.setting}] best val: {result.best_metric:.4f}; "
+          f"test: {({k: round(v, 4) for k, v in metrics.items()})}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import ALL_TABLES
+    names = list(ALL_TABLES) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ALL_TABLES:
+            print(f"unknown experiment {name!r}; "
+                  f"choose from {sorted(ALL_TABLES)} or 'all'",
+                  file=sys.stderr)
+            return 2
+    for name in names:
+        module = ALL_TABLES[name]
+        try:
+            results = module.run(profile=args.profile, workers=args.workers)
+        except TypeError:
+            results = module.run(profile=args.profile)
+        print(module.render(results))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
+                "transfer": _cmd_transfer, "experiment": _cmd_experiment}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

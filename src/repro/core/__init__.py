@@ -1,0 +1,22 @@
+"""``repro.core`` — the PMMRec model, objectives and transfer machinery."""
+
+from .config import ALIGNMENT_CHOICES, MODALITY_CHOICES, PMMRecConfig
+from .corruption import (LABEL_REPLACED, LABEL_SHUFFLED, LABEL_UNCHANGED,
+                         CorruptionResult, corrupt_batch)
+from .losses import (alignment_loss, batch_structure, dap_loss,
+                     masked_mean_pool, nid_loss, rcl_loss)
+from .model import ItemEncodings, PMMRec
+from .transfer import (TRANSFER_SETTINGS, build_target_model,
+                       transfer_components, transferred_model)
+from .user_encoder import UserEncoder
+
+__all__ = [
+    "PMMRec", "PMMRecConfig", "ItemEncodings", "UserEncoder",
+    "ALIGNMENT_CHOICES", "MODALITY_CHOICES",
+    "corrupt_batch", "CorruptionResult",
+    "LABEL_UNCHANGED", "LABEL_SHUFFLED", "LABEL_REPLACED",
+    "batch_structure", "dap_loss", "alignment_loss", "nid_loss", "rcl_loss",
+    "masked_mean_pool",
+    "TRANSFER_SETTINGS", "transfer_components", "build_target_model",
+    "transferred_model",
+]

@@ -1,0 +1,72 @@
+"""Sequence corruption for the self-supervised denoising objectives.
+
+Paper Sec. III-D1: the corrupted sequence is built by shuffling 15% of the
+items and replacing a further 5% with random items from the batch. The
+3-way per-position labels (unchanged / shuffled / replaced) supervise NID;
+the corrupted sequence is also the positive-pair view for RCL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CorruptionResult", "corrupt_batch",
+           "LABEL_UNCHANGED", "LABEL_SHUFFLED", "LABEL_REPLACED"]
+
+LABEL_UNCHANGED = 0
+LABEL_SHUFFLED = 1
+LABEL_REPLACED = 2
+
+
+@dataclass
+class CorruptionResult:
+    """Corrupted ids plus NID supervision labels (aligned with the input)."""
+
+    item_ids: np.ndarray     # (B, L) corrupted sequences, 0-padded like input
+    labels: np.ndarray       # (B, L) in {unchanged, shuffled, replaced}
+
+
+def corrupt_batch(item_ids: np.ndarray, mask: np.ndarray,
+                  rng: np.random.Generator, shuffle_frac: float = 0.15,
+                  replace_frac: float = 0.05) -> CorruptionResult:
+    """Corrupt a padded batch of sequences.
+
+    Shuffled positions are permuted *among themselves* within a sequence
+    (so the item multiset is preserved); replaced positions are overwritten
+    with items drawn from elsewhere in the batch. A position shuffled onto
+    itself is relabelled unchanged — the classifier should not be asked to
+    call an identical item "noise".
+    """
+    ids = np.asarray(item_ids).copy()
+    mask = np.asarray(mask, dtype=bool)
+    labels = np.zeros_like(ids)
+    pool = ids[mask]
+    if pool.size == 0:
+        return CorruptionResult(item_ids=ids, labels=labels)
+
+    for row in range(ids.shape[0]):
+        valid_pos = np.where(mask[row])[0]
+        n_valid = len(valid_pos)
+        if n_valid < 2:
+            continue
+        n_shuffle = int(round(shuffle_frac * n_valid))
+        n_replace = int(round(replace_frac * n_valid))
+        chosen = rng.choice(valid_pos, size=min(n_shuffle + n_replace,
+                                                n_valid), replace=False)
+        shuffle_pos = chosen[:n_shuffle]
+        replace_pos = chosen[n_shuffle:]
+        if len(shuffle_pos) >= 2:
+            perm = rng.permutation(len(shuffle_pos))
+            before = ids[row, shuffle_pos].copy()
+            ids[row, shuffle_pos] = before[perm]
+            moved = ids[row, shuffle_pos] != before
+            labels[row, shuffle_pos[moved]] = LABEL_SHUFFLED
+        for pos in replace_pos:
+            original = ids[row, pos]
+            replacement = pool[rng.integers(len(pool))]
+            ids[row, pos] = replacement
+            if replacement != original:
+                labels[row, pos] = LABEL_REPLACED
+    return CorruptionResult(item_ids=ids, labels=labels)

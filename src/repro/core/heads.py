@@ -1,0 +1,83 @@
+"""Task heads beyond next-item ranking (the paper's future-work section).
+
+The conclusion names rating prediction and multi-behavior recommendation
+as the directions for generalizing PMMRec. Both reduce to small heads on
+top of the frozen-or-finetuned backbone:
+
+* :class:`RatingHead` — predicts an explicit rating for a (user state,
+  item) pair from the elementwise interaction of their representations.
+* :class:`BehaviorHead` — classifies which behaviour type (click, like,
+  purchase, …) an interaction will be, sharing the same pair features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor, concat
+
+__all__ = ["RatingHead", "BehaviorHead", "pair_features"]
+
+
+def pair_features(user_state: Tensor, item_reps: Tensor) -> Tensor:
+    """Joint features of a user state and item representations.
+
+    Concatenates the two representations with their elementwise product —
+    the standard neural matrix-factorization feature map. Accepts
+    ``(B, d)`` states with ``(B, d)`` items.
+    """
+    product = user_state * item_reps
+    return concat([user_state, item_reps, product], axis=-1)
+
+
+class RatingHead(nn.Module):
+    """Two-layer MLP regressor for explicit ratings in ``[low, high]``.
+
+    The output is squashed with a sigmoid and rescaled, which keeps
+    predictions inside the rating scale by construction.
+    """
+
+    def __init__(self, dim: int, hidden: int | None = None,
+                 low: float = 1.0, high: float = 5.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        hidden = hidden or dim
+        self.low = low
+        self.high = high
+        self.fc1 = nn.Linear(3 * dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, 1, rng=rng)
+
+    def forward(self, user_state: Tensor, item_reps: Tensor) -> Tensor:
+        """Predict ratings, shape ``(B,)``."""
+        features = pair_features(user_state, item_reps)
+        raw = self.fc2(self.fc1(features).relu())
+        squashed = raw.reshape(raw.shape[0]).sigmoid()
+        return squashed * (self.high - self.low) + self.low
+
+    def loss(self, user_state: Tensor, item_reps: Tensor,
+             ratings: np.ndarray) -> Tensor:
+        """Mean squared error against observed ratings."""
+        predictions = self(user_state, item_reps)
+        diff = predictions - Tensor(np.asarray(ratings, dtype=np.float64))
+        return (diff * diff).mean()
+
+
+class BehaviorHead(nn.Module):
+    """Softmax classifier over behaviour types (multi-behavior rec)."""
+
+    def __init__(self, dim: int, num_behaviors: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.num_behaviors = num_behaviors
+        self.fc = nn.Linear(3 * dim, num_behaviors, rng=rng)
+
+    def forward(self, user_state: Tensor, item_reps: Tensor) -> Tensor:
+        """Behaviour logits, shape ``(B, num_behaviors)``."""
+        return self.fc(pair_features(user_state, item_reps))
+
+    def loss(self, user_state: Tensor, item_reps: Tensor,
+             behaviors: np.ndarray) -> Tensor:
+        """Cross-entropy against observed behaviour labels."""
+        logits = self(user_state, item_reps)
+        return nn.cross_entropy(logits, np.asarray(behaviors))

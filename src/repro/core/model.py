@@ -1,0 +1,197 @@
+"""The PMMRec model: item encoders + fusion + user encoder (Fig. 2a).
+
+The model is deliberately *loosely coupled* (paper Sec. III-E): the text
+encoder, vision encoder, fusion block and user encoder are independent
+sub-modules so any subset can be transferred to a target platform. The
+``modality`` config switch selects which item features reach the user
+encoder — fused (default), text-only (PMMRec-T) or vision-only
+(PMMRec-V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..data.catalog import SeqDataset, get_world
+from ..fusion import FusionConfig, MergeAttentionFusion
+from ..nn.ops import take_rows
+from ..nn.tensor import Tensor
+from ..text import pretrained_text_encoder
+from ..vision import pretrained_vision_encoder
+from .config import PMMRecConfig
+from .corruption import corrupt_batch
+from .losses import (alignment_loss, batch_structure, dap_loss, nid_loss,
+                     rcl_loss)
+from .user_encoder import UserEncoder
+
+__all__ = ["PMMRec", "ItemEncodings"]
+
+
+@dataclass
+class ItemEncodings:
+    """Per-item representations for one set of item ids.
+
+    ``sequence`` is whatever representation the user encoder consumes under
+    the active modality setting; ``text_cls`` / ``vision_cls`` are the
+    modality feature embeddings used by the alignment objectives (None when
+    the modality is disabled).
+    """
+
+    sequence: Tensor
+    text_cls: Tensor | None = None
+    vision_cls: Tensor | None = None
+
+
+class PMMRec(nn.Module):
+    """Pure Multi-Modality based Recommender (the paper's contribution)."""
+
+    def __init__(self, config: PMMRecConfig | None = None):
+        super().__init__()
+        self.config = config or PMMRecConfig()
+        cfg = self.config
+        world = get_world()
+        rng = np.random.default_rng(cfg.seed)
+        # Item encoders always start from "pre-trained" weights — exactly as
+        # the paper always starts from RoBERTa / CLIP-ViT even when training
+        # the recommender from scratch ("w/o PT" refers to recommendation
+        # pre-training, not language/vision pre-training).
+        self.text_encoder = pretrained_text_encoder(
+            world, dim=cfg.dim, num_blocks=cfg.encoder_blocks,
+            num_heads=cfg.encoder_heads, dropout=cfg.dropout)
+        self.vision_encoder = pretrained_vision_encoder(
+            world, dim=cfg.dim, num_blocks=cfg.encoder_blocks,
+            num_heads=cfg.encoder_heads, dropout=cfg.dropout)
+        self.fusion = MergeAttentionFusion(FusionConfig(
+            dim=cfg.dim, num_heads=cfg.user_heads,
+            num_blocks=cfg.fusion_blocks, dropout=cfg.dropout), rng=rng)
+        self.user_encoder = UserEncoder(
+            cfg.dim, num_blocks=cfg.user_blocks, num_heads=cfg.user_heads,
+            max_len=cfg.max_seq_len, dropout=cfg.dropout, rng=rng)
+        self.nid_head = nn.Linear(cfg.dim, 3, rng=rng)
+        self.text_encoder.set_finetune_depth(cfg.finetune_top_blocks)
+        self.vision_encoder.set_finetune_depth(cfg.finetune_top_blocks)
+        self._loss_rng = np.random.default_rng(cfg.seed + 1)
+
+    # -- item encoding -----------------------------------------------------------
+
+    def encode_items(self, dataset: SeqDataset,
+                     item_ids: np.ndarray) -> ItemEncodings:
+        """Encode items by id under the active modality setting."""
+        item_ids = np.asarray(item_ids)
+        modality = self.config.modality
+        text_cls = vision_cls = None
+        if modality in ("multi", "text"):
+            text_cls, text_hidden, text_valid = self.text_encoder(
+                dataset.text_for(item_ids))
+        if modality in ("multi", "vision"):
+            vision_cls, vision_hidden = self.vision_encoder(
+                dataset.images_for(item_ids))
+        if modality == "multi":
+            fused = self.fusion(text_hidden[:, 1:, :], text_valid[:, 1:],
+                                vision_hidden[:, 1:, :])
+            return ItemEncodings(sequence=fused, text_cls=text_cls,
+                                 vision_cls=vision_cls)
+        if modality == "text":
+            return ItemEncodings(sequence=text_cls, text_cls=text_cls)
+        return ItemEncodings(sequence=vision_cls, vision_cls=vision_cls)
+
+    def encode_catalog(self, dataset: SeqDataset,
+                       chunk_size: int = 256) -> np.ndarray:
+        """All-item representation matrix ``(num_items+1, d)`` (row 0 = pad).
+
+        Computed in inference mode, in chunks, for full-catalogue ranking.
+        """
+        was_training = self.training
+        self.eval()
+        out = np.zeros((dataset.num_items + 1, self.config.dim))
+        with nn.no_grad():
+            for start in range(1, dataset.num_items + 1, chunk_size):
+                ids = np.arange(start, min(start + chunk_size,
+                                           dataset.num_items + 1))
+                out[ids] = self.encode_items(dataset, ids).sequence.data
+        self.train(was_training)
+        return out
+
+    # -- sequence encoding ----------------------------------------------------------
+
+    def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
+        """User-encoder hiddens for ``(B, L, d)`` item representations."""
+        return self.user_encoder(item_reps, mask)
+
+    def score_histories(self, dataset: SeqDataset,
+                        histories: list[np.ndarray],
+                        catalog: np.ndarray | None = None) -> np.ndarray:
+        """Full-catalogue scores for each history's next item.
+
+        Returns ``(N, num_items+1)`` logits; column 0 (padding) should be
+        ignored by callers. ``catalog`` may be passed to reuse a
+        precomputed :meth:`encode_catalog` matrix.
+        """
+        from ..data.batching import pad_sequences
+        if catalog is None:
+            catalog = self.encode_catalog(dataset)
+        batch = pad_sequences(histories, max_len=self.config.max_seq_len)
+        was_training = self.training
+        self.eval()
+        with nn.no_grad():
+            reps = Tensor(catalog[batch.item_ids]
+                          * batch.mask[:, :, None])
+            hidden = self.sequence_hidden(reps, batch.mask).data
+        self.train(was_training)
+        last = batch.mask.sum(axis=1) - 1
+        final = hidden[np.arange(len(histories)), last]
+        return final @ catalog.T
+
+    # -- training objective ------------------------------------------------------------
+
+    def training_loss(self, dataset: SeqDataset, item_ids: np.ndarray,
+                      mask: np.ndarray,
+                      pretraining: bool = True) -> tuple[Tensor, dict]:
+        """Multi-task loss of Eq. 12 on one padded batch.
+
+        With ``pretraining=False`` only the DAP term is used — the paper's
+        fine-tuning objective (Sec. III-E2).
+        """
+        cfg = self.config
+        unique_ids, inverse, owner = batch_structure(item_ids, mask)
+        encodings = self.encode_items(dataset, unique_ids)
+        mask_f = Tensor(np.asarray(mask, dtype=np.float64)[:, :, None])
+        seq_reps = take_rows(encodings.sequence, inverse) * mask_f
+        hidden = self.sequence_hidden(seq_reps, mask)
+
+        loss = dap_loss(hidden, encodings.sequence, inverse, mask, owner)
+        metrics = {"dap": float(loss.data)}
+        if not pretraining:
+            metrics["total"] = float(loss.data)
+            return loss, metrics
+
+        if (cfg.modality == "multi" and cfg.alignment != "none"):
+            align = alignment_loss(encodings.text_cls, encodings.vision_cls,
+                                   inverse, mask, owner,
+                                   variant=cfg.alignment,
+                                   temperature=cfg.temperature)
+            loss = loss + align * cfg.alignment_weight
+            metrics["alignment"] = float(align.data)
+
+        if cfg.use_nid or cfg.use_rcl:
+            corruption = corrupt_batch(inverse, mask, self._loss_rng,
+                                       shuffle_frac=cfg.nid_shuffle_frac,
+                                       replace_frac=cfg.nid_replace_frac)
+            corrupt_reps = take_rows(encodings.sequence,
+                                     corruption.item_ids) * mask_f
+            corrupt_hidden = self.sequence_hidden(corrupt_reps, mask)
+            if cfg.use_nid:
+                nid = nid_loss(corrupt_hidden, self.nid_head,
+                               corruption.labels, mask)
+                loss = loss + nid * cfg.nid_weight
+                metrics["nid"] = float(nid.data)
+            if cfg.use_rcl:
+                rcl = rcl_loss(hidden, corrupt_hidden, mask)
+                loss = loss + rcl * cfg.rcl_weight
+                metrics["rcl"] = float(rcl.data)
+
+        metrics["total"] = float(loss.data)
+        return loss, metrics

@@ -1,0 +1,77 @@
+"""Component-wise transfer learning (paper Sec. III-E3, Fig. 2e).
+
+PMMRec's plug-and-play architecture supports five transfer settings; each
+is a named subset of components whose pre-trained weights are copied into
+a freshly-built target model:
+
+===============  ==========================================  ==============
+Setting          Components transferred                      Target modality
+===============  ==========================================  ==============
+``full``         text + vision encoders, fusion, user enc.   multi
+``item_encoders`` text + vision encoders, fusion             multi
+``user_encoder`` user encoder only                           multi
+``text_only``    text encoder + user encoder                 text
+``vision_only``  vision encoder + user encoder               vision
+===============  ==========================================  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..nn.serialization import filter_state
+from .config import PMMRecConfig
+from .model import PMMRec
+
+__all__ = ["TRANSFER_SETTINGS", "transfer_components", "build_target_model",
+           "transferred_model"]
+
+#: Component prefixes copied under each transfer setting.
+TRANSFER_SETTINGS: dict[str, tuple[str, ...]] = {
+    "full": ("text_encoder.", "vision_encoder.", "fusion.", "user_encoder."),
+    "item_encoders": ("text_encoder.", "vision_encoder.", "fusion."),
+    "user_encoder": ("user_encoder.",),
+    "text_only": ("text_encoder.", "user_encoder."),
+    "vision_only": ("vision_encoder.", "user_encoder."),
+}
+
+#: Modality the target model runs in under each setting.
+_TARGET_MODALITY = {
+    "full": "multi",
+    "item_encoders": "multi",
+    "user_encoder": "multi",
+    "text_only": "text",
+    "vision_only": "vision",
+}
+
+
+def transfer_components(source: PMMRec, target: PMMRec,
+                        setting: str) -> tuple[str, ...]:
+    """Copy the components named by ``setting`` from source into target.
+
+    Returns the transferred prefixes. Components not covered by the setting
+    keep the target's fresh initialization.
+    """
+    if setting not in TRANSFER_SETTINGS:
+        raise KeyError(f"unknown transfer setting {setting!r}; "
+                       f"choose from {sorted(TRANSFER_SETTINGS)}")
+    prefixes = TRANSFER_SETTINGS[setting]
+    state = filter_state(source.state_dict(), prefixes)
+    target.load_state_dict(state, strict=False)
+    return prefixes
+
+
+def build_target_model(base_config: PMMRecConfig, setting: str) -> PMMRec:
+    """Fresh target-platform model configured for ``setting``."""
+    if setting not in TRANSFER_SETTINGS:
+        raise KeyError(f"unknown transfer setting {setting!r}; "
+                       f"choose from {sorted(TRANSFER_SETTINGS)}")
+    config = replace(base_config, modality=_TARGET_MODALITY[setting])
+    return PMMRec(config)
+
+
+def transferred_model(source: PMMRec, setting: str) -> PMMRec:
+    """One-call helper: build a target model and transfer into it."""
+    target = build_target_model(source.config, setting)
+    transfer_components(source, target, setting)
+    return target

@@ -1,0 +1,54 @@
+"""The user encoder: a SASRec-style causal Transformer (paper Eq. 4).
+
+Takes a sequence of (already-computed) item representations, adds learned
+position embeddings and applies unidirectional Transformer blocks; the
+hidden state at position ``l`` summarizes the user's interests after their
+``l``-th interaction and is scored against candidate item representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import init as nn_init
+from ..nn.tensor import Tensor
+
+__all__ = ["UserEncoder"]
+
+
+class UserEncoder(nn.Module):
+    """Causal Transformer over item-representation sequences."""
+
+    def __init__(self, dim: int, num_blocks: int = 2, num_heads: int = 4,
+                 max_len: int = 32, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = nn_init.default_rng(rng)
+        self.dim = dim
+        self.max_len = max_len
+        self.pos_emb = nn.Embedding(max_len, dim, rng=rng)
+        self.norm = nn.LayerNorm(dim)
+        self.drop = nn.Dropout(dropout)
+        self.blocks = nn.ModuleList([
+            nn.TransformerBlock(dim, num_heads, dropout=dropout, rng=rng)
+            for _ in range(num_blocks)])
+        self.final_norm = nn.LayerNorm(dim)
+
+    def forward(self, item_reps: Tensor, valid: np.ndarray) -> Tensor:
+        """Encode ``(B, L, d)`` item representations into user hiddens.
+
+        ``valid`` is the boolean ``(B, L)`` mask of real (non-pad)
+        positions. Attention is causal *and* blocked on padded keys.
+        """
+        batch, length, _ = item_reps.shape
+        if length > self.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len "
+                             f"{self.max_len}")
+        positions = np.broadcast_to(np.arange(length), (batch, length))
+        x = item_reps + self.pos_emb(positions)
+        x = self.drop(self.norm(x))
+        mask = nn.causal_mask(length)[None, None] | nn.padding_mask(valid)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)

@@ -1,0 +1,34 @@
+"""``repro.data`` — synthetic multi-platform multi-modal data substrate.
+
+Stands in for the paper's Amazon / HM / Bili / Kwai corpora (see DESIGN.md
+§1): one shared latent world with universal transition dynamics, rendered
+per platform into text tokens and images with different styles and noise
+levels, then preprocessed exactly like the paper (5-core filter,
+leave-one-out splits, cold-start extraction).
+"""
+
+from .batching import Batch, batch_iterator, pad_sequences, shift_targets
+from .catalog import (MAX_SEQ_LEN, MAX_TEXT_LEN, TEXT_CLS, TEXT_OFFSET,
+                      TEXT_PAD, SeqDataset, build_dataset, downstream_names,
+                      fuse_datasets, get_world, source_names, text_vocab_size)
+from .coldstart import cold_items, cold_start_examples
+from .platforms import PLATFORMS, PlatformSpec, platform_for
+from .preprocess import (interaction_stats, k_core_filter, remap_item_ids,
+                         truncate_sequences)
+from .profiles import PROFILES, ScaleProfile, dataset_size, get_profile
+from .splits import DatasetSplit, EvalExample, leave_one_out
+from .world import TOPICS, LatentWorld, WorldConfig
+
+__all__ = [
+    "Batch", "pad_sequences", "batch_iterator", "shift_targets",
+    "SeqDataset", "build_dataset", "fuse_datasets", "get_world",
+    "source_names", "downstream_names", "text_vocab_size",
+    "TEXT_PAD", "TEXT_CLS", "TEXT_OFFSET", "MAX_TEXT_LEN", "MAX_SEQ_LEN",
+    "cold_items", "cold_start_examples",
+    "PLATFORMS", "PlatformSpec", "platform_for",
+    "k_core_filter", "remap_item_ids", "truncate_sequences",
+    "interaction_stats",
+    "PROFILES", "ScaleProfile", "get_profile", "dataset_size",
+    "DatasetSplit", "EvalExample", "leave_one_out",
+    "LatentWorld", "WorldConfig", "TOPICS",
+]

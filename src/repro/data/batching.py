@@ -1,0 +1,73 @@
+"""Mini-batching of user sequences for training and evaluation.
+
+Sequences are right-padded with item id 0; every model in the repo treats
+id 0 as padding. Targets for next-item prediction are the sequence shifted
+left by one, with 0 marking "no target" at padded positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Batch", "pad_sequences", "batch_iterator", "shift_targets"]
+
+
+@dataclass
+class Batch:
+    """A padded batch of user interaction sequences.
+
+    ``item_ids`` is ``(B, L)`` with 0 padding; ``mask`` marks real items.
+    """
+
+    item_ids: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.item_ids.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.item_ids.shape[1]
+
+
+def pad_sequences(sequences: list[np.ndarray],
+                  max_len: int | None = None) -> Batch:
+    """Right-pad variable-length sequences into a dense batch."""
+    if not sequences:
+        raise ValueError("cannot pad an empty list of sequences")
+    trimmed = [np.asarray(s, dtype=np.int64)[-(max_len or len(s)):]
+               if max_len else np.asarray(s, dtype=np.int64)
+               for s in sequences]
+    length = max(len(s) for s in trimmed)
+    ids = np.zeros((len(trimmed), length), dtype=np.int64)
+    mask = np.zeros((len(trimmed), length), dtype=bool)
+    for row, seq in enumerate(trimmed):
+        ids[row, :len(seq)] = seq
+        mask[row, :len(seq)] = True
+    return Batch(item_ids=ids, mask=mask)
+
+
+def shift_targets(batch: Batch) -> np.ndarray:
+    """Next-item targets: ``target[t] = item[t+1]``, 0 where undefined."""
+    targets = np.zeros_like(batch.item_ids)
+    targets[:, :-1] = batch.item_ids[:, 1:]
+    return targets
+
+
+def batch_iterator(sequences: list[np.ndarray], batch_size: int,
+                   rng: np.random.Generator, max_len: int | None = None,
+                   shuffle: bool = True, drop_last: bool = False,
+                   ) -> Iterator[Batch]:
+    """Yield padded batches, reshuffled per call (i.e. per epoch)."""
+    order = np.arange(len(sequences))
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start:start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            return
+        yield pad_sequences([sequences[i] for i in chunk], max_len=max_len)

@@ -1,0 +1,215 @@
+"""Dataset catalogue: the 4 source and 10 downstream datasets.
+
+``build_dataset("kwai_food")`` returns a fully preprocessed
+:class:`SeqDataset` — interaction sequences, per-item text tokens and
+images, leave-one-out splits and Table II statistics — generated from the
+shared :class:`repro.data.world.LatentWorld`. ``fuse_datasets`` merges the
+four sources into the joint pre-training corpus the paper uses
+("pre-train on fused 4 source datasets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from .platforms import platform_for
+from .preprocess import (interaction_stats, k_core_filter, remap_item_ids,
+                         truncate_sequences)
+from .profiles import dataset_size, get_profile
+from .splits import DatasetSplit, leave_one_out
+from .world import TOPICS, LatentWorld, WorldConfig
+
+__all__ = ["SeqDataset", "build_dataset", "fuse_datasets", "source_names",
+           "downstream_names", "get_world", "TEXT_PAD", "TEXT_CLS",
+           "TEXT_OFFSET", "text_vocab_size", "MAX_TEXT_LEN", "MAX_SEQ_LEN"]
+
+TEXT_PAD = 0
+TEXT_CLS = 1
+TEXT_OFFSET = 2          # world token ids are shifted by this amount
+MAX_TEXT_LEN = 12        # stands in for the paper's 50-word cap
+MAX_SEQ_LEN = 30         # most recent interactions kept per user
+
+_STYLE_TOKEN_TOTAL = 32  # 8 style tokens × 4 platforms
+
+
+def source_names() -> tuple[str, ...]:
+    """The 4 source datasets used for pre-training."""
+    return ("bili", "kwai", "hm", "amazon")
+
+
+def downstream_names() -> tuple[str, ...]:
+    """The 10 downstream datasets used for transfer evaluation."""
+    return ("bili_food", "bili_movie", "bili_cartoon",
+            "kwai_food", "kwai_movie", "kwai_cartoon",
+            "hm_clothes", "hm_shoes",
+            "amazon_clothes", "amazon_shoes")
+
+
+@lru_cache(maxsize=1)
+def get_world() -> LatentWorld:
+    """The single shared world instance (one latent space for everything)."""
+    return LatentWorld(WorldConfig())
+
+
+def text_vocab_size() -> int:
+    """Vocabulary size seen by the text encoder (pad+cls+tokens+styles+tags)."""
+    cfg = get_world().config
+    return TEXT_OFFSET + cfg.vocab_size + _STYLE_TOKEN_TOTAL + len(TOPICS)
+
+
+@dataclass
+class SeqDataset:
+    """A preprocessed sequential-recommendation dataset.
+
+    Item id 0 is reserved for padding everywhere; real items are
+    ``1..num_items``. ``text_tokens`` / ``images`` / ``item_topics`` are
+    indexed by item id (row 0 is the all-zero padding item).
+    ``item_latents`` is generator ground truth retained only for tests.
+    """
+
+    name: str
+    platform: str
+    num_items: int
+    sequences: list[np.ndarray]
+    text_tokens: np.ndarray          # (num_items+1, MAX_TEXT_LEN) int64
+    images: np.ndarray               # (num_items+1, S, S, 3) float64
+    item_topics: np.ndarray          # (num_items+1,) int64, -1 for padding
+    item_latents: np.ndarray         # (num_items+1, k) ground truth
+    split: DatasetSplit = field(repr=False, default=None)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.sequences)
+
+    def text_for(self, item_ids: np.ndarray) -> np.ndarray:
+        """Token matrix for a batch of item ids."""
+        return self.text_tokens[np.asarray(item_ids)]
+
+    def images_for(self, item_ids: np.ndarray) -> np.ndarray:
+        """Image stack for a batch of item ids."""
+        return self.images[np.asarray(item_ids)]
+
+
+def _dataset_rng(name: str, seed: int) -> np.random.Generator:
+    digest = sum(ord(c) * (31 ** i) for i, c in enumerate(name)) % (2 ** 31)
+    return np.random.default_rng([seed, digest])
+
+
+def _sample_lengths(rng: np.random.Generator, count: int,
+                    mean_length: float) -> np.ndarray:
+    baseline = 5
+    return baseline + rng.poisson(max(mean_length - baseline, 1.0), size=count)
+
+
+@lru_cache(maxsize=32)
+def _build_dataset_cached(name: str, profile_name: str,
+                          seed: int) -> SeqDataset:
+    profile = get_profile(profile_name)
+    world = get_world()
+    spec = platform_for(name)
+    rng = _dataset_rng(name, seed)
+    num_users, num_items = dataset_size(name, profile)
+
+    suffix = name.split("_", 1)[1] if "_" in name else None
+    if suffix is not None:
+        allowed_topics = (TOPICS.index(suffix),)
+    else:
+        allowed_topics = spec.topic_ids()
+
+    item_topics = rng.choice(allowed_topics, size=num_items)
+    item_latents = world.sample_items(item_topics, rng)
+
+    # Roll out user sequences with the shared transition dynamics.
+    lengths = _sample_lengths(rng, num_users, spec.mean_seq_length)
+    sequences = []
+    for user in range(num_users):
+        home = rng.choice(allowed_topics)
+        pref = (world.topic_centres[home]
+                + 1.1 * rng.normal(size=world.config.semantic_dim))
+        seq = world.generate_sequence(pref, item_latents, int(lengths[user]),
+                                      rng, noise_prob=spec.interaction_noise)
+        sequences.append(seq + 1)  # shift: 0 is the padding item
+
+    # Paper preprocessing: 5-core filter, truncate, leave-one-out split.
+    filtered, kept = k_core_filter(sequences, min_user=5, min_item=5)
+    remapped = remap_item_ids(filtered, kept)
+    remapped = truncate_sequences(remapped, MAX_SEQ_LEN)
+    kept_zero_based = kept - 1
+    kept_topics = item_topics[kept_zero_based]
+    kept_latents = item_latents[kept_zero_based]
+    final_items = len(kept)
+
+    # Render modalities for surviving items only; row 0 stays zero (pad).
+    text = np.zeros((final_items + 1, MAX_TEXT_LEN), dtype=np.int64)
+    size = world.config.image_size
+    images = np.zeros((final_items + 1, size, size, 3))
+    topics_col = np.full(final_items + 1, -1, dtype=np.int64)
+    latents_col = np.zeros((final_items + 1, world.config.semantic_dim))
+    tag_base = world.config.vocab_size + _STYLE_TOKEN_TOTAL
+    for row in range(final_items):
+        topic = int(kept_topics[row])
+        tag = tag_base + topic if spec.uses_tag_tokens else None
+        raw_len = int(rng.integers(9, MAX_TEXT_LEN + 1))
+        tokens = world.render_text(
+            kept_latents[row], topic, raw_len, rng,
+            style_offset=spec.style_offset, style_count=8,
+            tag_token=tag, noise_tokens=spec.text_noise_tokens)
+        tokens = tokens[:MAX_TEXT_LEN] + TEXT_OFFSET
+        text[row + 1, :len(tokens)] = tokens
+        images[row + 1] = world.render_image(kept_latents[row], rng,
+                                             clutter=spec.clutter)
+        topics_col[row + 1] = topic
+        latents_col[row + 1] = kept_latents[row]
+
+    dataset = SeqDataset(
+        name=name, platform=spec.name, num_items=final_items,
+        sequences=remapped, text_tokens=text, images=images,
+        item_topics=topics_col, item_latents=latents_col,
+        split=leave_one_out(remapped),
+        stats=interaction_stats(remapped, final_items))
+    return dataset
+
+
+def build_dataset(name: str, profile: str | None = None,
+                  seed: int = 0) -> SeqDataset:
+    """Build (or fetch from cache) a named dataset under a scale profile."""
+    resolved = get_profile(profile).name
+    return _build_dataset_cached(name, resolved, seed)
+
+
+def fuse_datasets(datasets: list[SeqDataset], name: str = "fused") -> SeqDataset:
+    """Merge datasets into one corpus with disjoint item-id ranges.
+
+    Used for the paper's joint pre-training on all 4 sources: in-batch
+    negatives then come from multiple platforms, which (per Sec. III-B4)
+    teaches the model to recognise different item styles.
+    """
+    if not datasets:
+        raise ValueError("fuse_datasets needs at least one dataset")
+    text_rows = [datasets[0].text_tokens[0:1]]
+    image_rows = [datasets[0].images[0:1]]
+    topic_rows = [np.array([-1], dtype=np.int64)]
+    latent_rows = [datasets[0].item_latents[0:1]]
+    sequences: list[np.ndarray] = []
+    offset = 0
+    for ds in datasets:
+        text_rows.append(ds.text_tokens[1:])
+        image_rows.append(ds.images[1:])
+        topic_rows.append(ds.item_topics[1:])
+        latent_rows.append(ds.item_latents[1:])
+        sequences.extend(seq + offset for seq in ds.sequences)
+        offset += ds.num_items
+    fused = SeqDataset(
+        name=name, platform="fused", num_items=offset,
+        sequences=sequences,
+        text_tokens=np.concatenate(text_rows, axis=0),
+        images=np.concatenate(image_rows, axis=0),
+        item_topics=np.concatenate(topic_rows, axis=0),
+        item_latents=np.concatenate(latent_rows, axis=0),
+        split=leave_one_out(sequences),
+        stats=interaction_stats(sequences, offset))
+    return fused

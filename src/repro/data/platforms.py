@@ -1,0 +1,63 @@
+"""Platform specifications for the four data sources of the paper.
+
+Each platform differs in *content rendering* — topics offered, visual
+clutter (Bili/Kwai covers are busy posters; HM/Amazon product shots are
+clean), text noise, whether categorical tag tokens are appended (the paper
+adds tags on HM/Amazon) — while the underlying transition dynamics come
+from the single shared :class:`repro.data.world.LatentWorld`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .world import TOPICS
+
+__all__ = ["PlatformSpec", "PLATFORMS", "platform_for"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Rendering style and behaviour statistics of one platform."""
+
+    name: str
+    topics: tuple[str, ...]
+    clutter: float            # image background complexity (posters vs clean)
+    text_noise_tokens: int    # uniformly random tokens mixed into titles
+    interaction_noise: float  # prob. a logged interaction is spurious
+    style_offset: int         # where this platform's style tokens start
+    uses_tag_tokens: bool     # categorical tags in text (HM / Amazon)
+    mean_seq_length: float    # matches the avg.length column of Table II
+
+    def topic_ids(self) -> tuple[int, ...]:
+        return tuple(TOPICS.index(t) for t in self.topics)
+
+
+#: The 4 platforms of the paper. Style-token blocks are disjoint so the text
+#: encoder can tell platforms apart (as RoBERTa does from phrasing style).
+PLATFORMS: dict[str, PlatformSpec] = {
+    "bili": PlatformSpec(
+        name="bili", topics=("food", "movie", "cartoon"),
+        clutter=0.55, text_noise_tokens=2, interaction_noise=0.10,
+        style_offset=0, uses_tag_tokens=False, mean_seq_length=15.4),
+    "kwai": PlatformSpec(
+        name="kwai", topics=("food", "movie", "cartoon"),
+        clutter=0.7, text_noise_tokens=3, interaction_noise=0.12,
+        style_offset=8, uses_tag_tokens=False, mean_seq_length=7.6),
+    "hm": PlatformSpec(
+        name="hm", topics=("clothes", "shoes"),
+        clutter=0.1, text_noise_tokens=1, interaction_noise=0.04,
+        style_offset=16, uses_tag_tokens=True, mean_seq_length=15.8),
+    "amazon": PlatformSpec(
+        name="amazon", topics=("clothes", "shoes"),
+        clutter=0.15, text_noise_tokens=1, interaction_noise=0.05,
+        style_offset=24, uses_tag_tokens=True, mean_seq_length=7.4),
+}
+
+
+def platform_for(dataset_name: str) -> PlatformSpec:
+    """Resolve a dataset name like ``"kwai_food"`` to its platform spec."""
+    prefix = dataset_name.split("_")[0]
+    if prefix not in PLATFORMS:
+        raise KeyError(f"unknown platform for dataset {dataset_name!r}")
+    return PLATFORMS[prefix]

@@ -1,0 +1,95 @@
+"""Interaction preprocessing: k-core filtering, remapping, truncation.
+
+Mirrors the paper's pipeline (Sec. IV-A1): users and items with fewer than
+five interactions are filtered out iteratively, text is truncated to a
+maximum token budget, and long histories keep only the most recent items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["k_core_filter", "remap_item_ids", "truncate_sequences",
+           "interaction_stats"]
+
+
+def k_core_filter(sequences: list[np.ndarray], min_user: int = 5,
+                  min_item: int = 5) -> tuple[list[np.ndarray], np.ndarray]:
+    """Iteratively drop rare items and short user histories.
+
+    Items occurring fewer than ``min_item`` times are removed from all
+    sequences; users left with fewer than ``min_user`` interactions are
+    dropped; repeat until stable (the standard k-core recursion).
+
+    Returns
+    -------
+    (filtered_sequences, kept_item_ids):
+        Sequences still use the *original* item ids; ``kept_item_ids`` is
+        the sorted array of ids that survived.
+    """
+    seqs = [np.asarray(s, dtype=np.int64) for s in sequences]
+    while True:
+        counts: dict[int, int] = {}
+        for seq in seqs:
+            for item in seq:
+                counts[int(item)] = counts.get(int(item), 0) + 1
+        good_items = {i for i, c in counts.items() if c >= min_item}
+        changed = False
+        next_seqs = []
+        for seq in seqs:
+            kept = seq[np.isin(seq, list(good_items))] if good_items else seq[:0]
+            if len(kept) != len(seq):
+                changed = True
+            if len(kept) >= min_user:
+                next_seqs.append(kept)
+            else:
+                changed = True
+        seqs = next_seqs
+        if not changed:
+            break
+    kept_ids = np.array(sorted({int(i) for s in seqs for i in s}),
+                        dtype=np.int64)
+    return seqs, kept_ids
+
+
+def remap_item_ids(sequences: list[np.ndarray],
+                   kept_ids: np.ndarray) -> list[np.ndarray]:
+    """Renumber items to contiguous ids ``1..len(kept_ids)`` (0 = padding)."""
+    highest = int(kept_ids.max()) if len(kept_ids) else 0
+    for seq in sequences:
+        if len(seq):
+            highest = max(highest, int(np.max(seq)))
+    mapping = np.full(highest + 1, -1, dtype=np.int64)
+    if len(kept_ids):
+        mapping[kept_ids] = np.arange(1, len(kept_ids) + 1)
+    remapped = []
+    for seq in sequences:
+        new = mapping[seq]
+        if (new < 0).any():
+            raise ValueError("sequence contains an item missing from kept_ids")
+        remapped.append(new)
+    return remapped
+
+
+def truncate_sequences(sequences: list[np.ndarray],
+                       max_len: int) -> list[np.ndarray]:
+    """Keep only each user's most recent ``max_len`` interactions."""
+    return [seq[-max_len:] for seq in sequences]
+
+
+def interaction_stats(sequences: list[np.ndarray],
+                      num_items: int) -> dict[str, float]:
+    """Dataset statistics in the format of the paper's Table II."""
+    num_users = len(sequences)
+    num_actions = int(sum(len(s) for s in sequences))
+    avg_length = num_actions / num_users if num_users else 0.0
+    unique_pairs = sum(len(np.unique(s)) for s in sequences)
+    denom = num_users * num_items
+    sparsity = 1.0 - (unique_pairs / denom) if denom else 0.0
+    return {
+        "users": num_users,
+        "items": num_items,
+        "actions": num_actions,
+        "avg_length": avg_length,
+        "sparsity": sparsity,
+    }

@@ -1,0 +1,76 @@
+"""Scale profiles: how big the synthetic datasets are.
+
+The paper runs at 600k-user scale on 8×A100; the reproduction runs on a
+CPU with a numpy backend, so dataset sizes are scaled down while keeping
+the *relative* proportions of the paper's Table II (Kwai/HM have 2× the
+users of Bili; Bili/HM sequences are ~2× longer than Kwai/Amazon; the
+downstream category slices are 1–2 orders of magnitude smaller than the
+sources).
+
+Select a profile with the ``REPRO_PROFILE`` environment variable
+(``smoke`` | ``paper`` | ``full``; default ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ScaleProfile", "PROFILES", "get_profile", "dataset_size"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Multipliers applied to the base (paper-profile) dataset sizes."""
+
+    name: str
+    user_scale: float
+    item_scale: float
+    min_users: int = 40
+    min_items: int = 30
+
+
+PROFILES: dict[str, ScaleProfile] = {
+    "smoke": ScaleProfile(name="smoke", user_scale=0.45, item_scale=0.25),
+    "paper": ScaleProfile(name="paper", user_scale=1.0, item_scale=1.0),
+    "full": ScaleProfile(name="full", user_scale=3.0, item_scale=2.0),
+}
+
+#: Base (users, items) at the ``paper`` profile, proportional to Table II.
+_BASE_SIZES: dict[str, tuple[int, int]] = {
+    # 4 sources
+    "bili": (260, 420),
+    "kwai": (420, 400),
+    "hm": (420, 500),
+    "amazon": (300, 330),
+    # 10 downstream category slices
+    "bili_food": (110, 200),
+    "bili_movie": (150, 240),
+    "bili_cartoon": (190, 270),
+    "kwai_food": (150, 140),
+    "kwai_movie": (170, 150),
+    "kwai_cartoon": (200, 170),
+    "hm_clothes": (180, 210),
+    "hm_shoes": (160, 230),
+    "amazon_clothes": (220, 120),
+    "amazon_shoes": (220, 150),
+}
+
+
+def get_profile(name: str | None = None) -> ScaleProfile:
+    """Resolve a profile by name, argument over environment over default."""
+    resolved = name or os.environ.get("REPRO_PROFILE", "paper")
+    if resolved not in PROFILES:
+        raise KeyError(f"unknown profile {resolved!r}; "
+                       f"choose from {sorted(PROFILES)}")
+    return PROFILES[resolved]
+
+
+def dataset_size(dataset_name: str, profile: ScaleProfile) -> tuple[int, int]:
+    """Return (num_users, num_items) for a dataset under a profile."""
+    if dataset_name not in _BASE_SIZES:
+        raise KeyError(f"unknown dataset {dataset_name!r}; "
+                       f"choose from {sorted(_BASE_SIZES)}")
+    users, items = _BASE_SIZES[dataset_name]
+    return (max(int(users * profile.user_scale), profile.min_users),
+            max(int(items * profile.item_scale), profile.min_items))

@@ -1,0 +1,52 @@
+"""Leave-one-out evaluation splits (the paper's protocol, Sec. IV-A2).
+
+For each user the last interaction is the test target, the second-to-last
+is the validation target, and everything before is training data. Ranking
+is over the *whole* item catalogue — the paper explicitly avoids sampled
+metrics (citing Krichene & Rendle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EvalExample", "DatasetSplit", "leave_one_out"]
+
+
+@dataclass(frozen=True)
+class EvalExample:
+    """A ranking task: predict ``target`` given the ``history`` prefix."""
+
+    history: np.ndarray
+    target: int
+
+
+@dataclass
+class DatasetSplit:
+    """Train sequences plus validation / test ranking examples."""
+
+    train: list[np.ndarray] = field(default_factory=list)
+    valid: list[EvalExample] = field(default_factory=list)
+    test: list[EvalExample] = field(default_factory=list)
+
+
+def leave_one_out(sequences: list[np.ndarray],
+                  min_train_len: int = 3) -> DatasetSplit:
+    """Split chronologically ordered user sequences leave-one-out style.
+
+    Users whose history is too short to yield a non-empty training prefix
+    (fewer than ``min_train_len`` interactions) contribute to training only.
+    """
+    split = DatasetSplit()
+    for seq in sequences:
+        seq = np.asarray(seq, dtype=np.int64)
+        if len(seq) < min_train_len:
+            if len(seq) >= 2:
+                split.train.append(seq)
+            continue
+        split.train.append(seq[:-2])
+        split.valid.append(EvalExample(history=seq[:-2], target=int(seq[-2])))
+        split.test.append(EvalExample(history=seq[:-1], target=int(seq[-1])))
+    return split

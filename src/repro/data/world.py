@@ -1,0 +1,198 @@
+"""The latent semantic world behind all synthetic datasets.
+
+The paper's central premise (its Figure 1) is that different platforms have
+very different *content* but share universal *transition patterns*. The
+generative world here encodes exactly that:
+
+* All items — on every platform — live in one shared ``semantic_dim``-d
+  latent space, clustered by topic (food, movie, cartoon, clothes, shoes…).
+* User behaviour follows a single **global transition operator**: the next
+  item's latent is predicted by rotating the user's current interest state
+  with a world-level matrix shared by every platform. This is the "common
+  knowledge" that makes cross-platform transfer possible.
+* Texts and images are *renderings* of an item's latent — a shared token
+  semantics for text and a fixed pixel decoder for images — with
+  per-platform style tokens and background clutter. Content therefore
+  differs across platforms (different topics, styles, clutter levels) while
+  dynamics do not, exactly the asymmetry the paper exploits.
+
+Nothing downstream may touch the latents directly: models only ever see
+tokens, pixels and interaction sequences. Latents are retained on the
+dataset object purely for tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorldConfig", "LatentWorld", "TOPICS"]
+
+#: Global topic registry: every platform draws its categories from here, so
+#: e.g. "food" on Bili and "food" on Kwai share a latent cluster centre —
+#: which is what makes homogeneous-source transfer (Table VI diagonal) win.
+TOPICS = ("food", "movie", "cartoon", "clothes", "shoes")
+
+
+@dataclass
+class WorldConfig:
+    """Hyper-parameters of the generative world."""
+
+    semantic_dim: int = 16
+    vocab_size: int = 384
+    num_style_tokens: int = 8      # per platform, appended to the vocab
+    image_size: int = 16           # images are (image_size, image_size, 3)
+    topic_spread: float = 0.95     # item scatter around its topic centre
+    transition_momentum: float = 0.55   # weight of rotated state vs new item
+    interest_noise: float = 0.18   # diffusion of the user interest state
+    choice_temperature: float = 0.30    # softmax temp when picking next item
+    candidate_pool: int = 64       # items scored per step (locality of choice)
+    text_view_dims: int = 12       # latent dims visible to the text modality
+    vision_view_dims: int = 10     # latent dims visible to the vision modality
+    seed: int = 7
+
+
+class LatentWorld:
+    """Shared latent space, transition operator and modality renderers."""
+
+    def __init__(self, config: WorldConfig | None = None):
+        self.config = config or WorldConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        k = cfg.semantic_dim
+
+        # Topic cluster centres, pushed apart to be distinguishable.
+        centres = rng.normal(size=(len(TOPICS), k))
+        centres /= np.linalg.norm(centres, axis=1, keepdims=True)
+        self.topic_centres = centres * 2.0
+
+        # The universal transition operator: a random rotation mixed with
+        # identity. Applied to a user's interest state it predicts where the
+        # *next* item will be — identically on every platform.
+        random_mat = rng.normal(size=(k, k))
+        q, _ = np.linalg.qr(random_mat)
+        self.transition = 0.6 * q + 0.4 * np.eye(k)
+
+        # Shared token semantics: each vocabulary token has a latent vector;
+        # an item's text is sampled from tokens whose latents align with the
+        # item latent. (Stand-in for a natural language shared by platforms.)
+        self.token_latents = rng.normal(size=(cfg.vocab_size, k))
+        self.token_latents /= np.linalg.norm(self.token_latents, axis=1,
+                                             keepdims=True)
+
+        # Each modality observes only a subspace of the latent (a title
+        # describes some aspects of an item, a cover shows others). The
+        # views overlap but neither is complete — so fusing modalities
+        # genuinely recovers more of the latent than either alone, which is
+        # what gives multi-modal methods their edge in the paper.
+        perm = rng.permutation(k)
+        self.text_view = np.zeros(k)
+        self.text_view[perm[:cfg.text_view_dims]] = 1.0
+        self.vision_view = np.zeros(k)
+        self.vision_view[perm[k - cfg.vision_view_dims:]] = 1.0
+
+        # Fixed pixel decoder: latent -> image, shared across platforms so
+        # that visual semantics is transferable; clutter is added per
+        # platform at render time.
+        pixels = cfg.image_size * cfg.image_size * 3
+        self.pixel_decoder = rng.normal(size=(k, pixels)) / np.sqrt(k)
+        self._rng = rng
+
+    # -- item generation -------------------------------------------------------
+
+    def sample_items(self, topics: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Draw item latents around their topic centres."""
+        cfg = self.config
+        eps = rng.normal(size=(len(topics), cfg.semantic_dim))
+        return self.topic_centres[topics] + cfg.topic_spread * eps
+
+    # -- interaction generation --------------------------------------------------
+
+    def generate_sequence(self, user_pref: np.ndarray, item_latents: np.ndarray,
+                          length: int, rng: np.random.Generator,
+                          noise_prob: float = 0.0) -> np.ndarray:
+        """Roll out one user's interaction sequence.
+
+        The interest state starts at the user preference and evolves by the
+        *shared* transition operator; each step scores a random candidate
+        pool by latent affinity and samples the next item. With probability
+        ``noise_prob`` a step is replaced by a uniformly random item — the
+        data noise that the paper's NID / RCL objectives are built to absorb.
+        """
+        cfg = self.config
+        num_items = len(item_latents)
+        state = user_pref.copy()
+        chosen = np.empty(length, dtype=np.int64)
+        for step in range(length):
+            if noise_prob > 0.0 and rng.random() < noise_prob:
+                pick = rng.integers(num_items)
+            else:
+                target = self.transition @ state
+                pool = rng.choice(num_items, size=min(cfg.candidate_pool,
+                                                      num_items),
+                                  replace=False)
+                scores = item_latents[pool] @ target / cfg.choice_temperature
+                scores -= scores.max()
+                probs = np.exp(scores)
+                probs /= probs.sum()
+                pick = pool[rng.choice(len(pool), p=probs)]
+            chosen[step] = pick
+            state = (cfg.transition_momentum * (self.transition @ state)
+                     + (1.0 - cfg.transition_momentum) * item_latents[pick]
+                     + cfg.interest_noise
+                     * rng.normal(size=cfg.semantic_dim))
+        return chosen
+
+    # -- modality renderers ----------------------------------------------------------
+
+    def render_text(self, item_latent: np.ndarray, topic: int,
+                    length: int, rng: np.random.Generator,
+                    style_offset: int, style_count: int,
+                    tag_token: int | None = None,
+                    noise_tokens: int = 0) -> np.ndarray:
+        """Sample a token sequence describing an item.
+
+        Tokens are drawn with probability proportional to the alignment of
+        their latent with the item latent (the shared "language"), then a
+        platform style token, an optional category tag token (the paper adds
+        categorical tags on HM/Amazon) and uniform noise tokens are mixed in.
+        """
+        logits = self.token_latents @ (item_latent * self.text_view) * 4.0
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        content_len = max(length - noise_tokens - 1, 1)
+        tokens = rng.choice(self.config.vocab_size, size=content_len, p=probs)
+        extras = [self.config.vocab_size + style_offset
+                  + rng.integers(style_count)]
+        if tag_token is not None:
+            extras.append(tag_token)
+        noise = rng.integers(0, self.config.vocab_size, size=noise_tokens)
+        return np.concatenate([np.asarray(extras, dtype=np.int64),
+                               tokens, noise])[:length]
+
+    def render_image(self, item_latent: np.ndarray,
+                     rng: np.random.Generator,
+                     clutter: float) -> np.ndarray:
+        """Render an item latent to a ``(size, size, 3)`` image.
+
+        ``clutter`` controls the amplitude of a structured low-frequency
+        background (posters on Bili/Kwai vs clean product shots on
+        HM/Amazon) plus pixel noise.
+        """
+        size = self.config.image_size
+        flat = np.tanh((item_latent * self.vision_view) @ self.pixel_decoder)
+        image = flat.reshape(size, size, 3)
+        if clutter > 0.0:
+            # Low-frequency background: outer product of two smooth waves.
+            xs = np.linspace(0.0, 2.0 * np.pi, size)
+            phase = rng.uniform(0.0, 2.0 * np.pi, size=2)
+            freq = rng.integers(1, 4, size=2)
+            wave = np.outer(np.sin(freq[0] * xs + phase[0]),
+                            np.cos(freq[1] * xs + phase[1]))
+            colours = rng.normal(size=3)
+            image = image + clutter * wave[:, :, None] * colours
+            image = image + 0.3 * clutter * rng.normal(size=image.shape)
+        return np.clip(image, -2.0, 2.0)

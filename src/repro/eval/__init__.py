@@ -1,0 +1,8 @@
+"""``repro.eval`` — full-catalogue ranking metrics and evaluation loops."""
+
+from .evaluator import evaluate_model, evaluate_ranking
+from .metrics import (DEFAULT_KS, hit_ratio, metrics_from_ranks, ndcg,
+                      rank_of_target)
+
+__all__ = ["evaluate_model", "evaluate_ranking", "hit_ratio", "ndcg",
+           "rank_of_target", "metrics_from_ranks", "DEFAULT_KS"]

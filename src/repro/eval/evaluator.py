@@ -1,0 +1,53 @@
+"""Full-catalogue ranking evaluation over leave-one-out examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.splits import EvalExample
+from .metrics import DEFAULT_KS, metrics_from_ranks, rank_of_target
+
+__all__ = ["evaluate_ranking", "evaluate_model"]
+
+ScoreFn = Callable[[list[np.ndarray]], np.ndarray]
+
+
+def evaluate_ranking(score_fn: ScoreFn, examples: Sequence[EvalExample],
+                     ks: tuple[int, ...] = DEFAULT_KS,
+                     batch_size: int = 128) -> dict[str, float]:
+    """Rank every example's target with ``score_fn`` and aggregate metrics.
+
+    ``score_fn`` maps a list of histories to an ``(N, num_items+1)`` score
+    matrix (column 0 = padding, ignored).
+    """
+    if not examples:
+        return {f"{m}@{k}": 0.0 for k in ks for m in ("hr", "ndcg")}
+    all_ranks: list[np.ndarray] = []
+    for start in range(0, len(examples), batch_size):
+        chunk = examples[start:start + batch_size]
+        scores = score_fn([ex.history for ex in chunk])
+        targets = np.array([ex.target for ex in chunk])
+        all_ranks.append(rank_of_target(scores, targets))
+    return metrics_from_ranks(np.concatenate(all_ranks), ks=ks)
+
+
+def evaluate_model(model, dataset, examples: Sequence[EvalExample],
+                   ks: tuple[int, ...] = DEFAULT_KS,
+                   batch_size: int = 128) -> dict[str, float]:
+    """Evaluate any model exposing ``score_histories(dataset, histories)``.
+
+    The item catalogue is encoded once (when the model supports it) and
+    reused across batches.
+    """
+    catalog = None
+    if hasattr(model, "encode_catalog"):
+        catalog = model.encode_catalog(dataset)
+
+    def score_fn(histories: list[np.ndarray]) -> np.ndarray:
+        if catalog is not None:
+            return model.score_histories(dataset, histories, catalog=catalog)
+        return model.score_histories(dataset, histories)
+
+    return evaluate_ranking(score_fn, examples, ks=ks, batch_size=batch_size)

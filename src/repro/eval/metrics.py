@@ -1,0 +1,64 @@
+"""Ranking metrics: HR@k and NDCG@k (paper Sec. IV-A2).
+
+The paper ranks over the *whole* catalogue (it explicitly avoids sampled
+metrics, citing Krichene & Rendle / Li et al.), so metrics here are
+computed from exact full-catalogue ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_of_target", "hit_ratio", "ndcg", "metrics_from_ranks",
+           "DEFAULT_KS"]
+
+DEFAULT_KS = (10, 20, 50)
+
+
+def rank_of_target(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """1-based rank of each row's target item under full-catalogue scoring.
+
+    ``scores`` is ``(N, num_items+1)`` with column 0 the padding item
+    (always excluded). Ties are broken pessimistically: equal-scored items
+    count as ranked above the target, making the metric conservative.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets)
+    rows = np.arange(scores.shape[0])
+    target_scores = scores[rows, targets]
+    comparable = scores[:, 1:]  # drop the padding column
+    higher = (comparable > target_scores[:, None]).sum(axis=1)
+    ties = (comparable == target_scores[:, None]).sum(axis=1)
+    # The target itself is one of the ties; other ties rank above it.
+    return higher + ties
+
+
+def hit_ratio(ranks: np.ndarray, k: int) -> float:
+    """Fraction of targets ranked within the top ``k``."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float((ranks <= k).mean())
+
+
+def ndcg(ranks: np.ndarray, k: int) -> float:
+    """Normalized DCG@k with a single relevant item per example.
+
+    With one relevant target, ideal DCG is 1 and the per-example gain is
+    ``1 / log2(rank + 1)`` when the target is inside the top ``k``.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(gains.mean())
+
+
+def metrics_from_ranks(ranks: np.ndarray,
+                       ks: tuple[int, ...] = DEFAULT_KS) -> dict[str, float]:
+    """All HR@k / NDCG@k values as a flat dict keyed like ``"hr@10"``."""
+    out: dict[str, float] = {}
+    for k in ks:
+        out[f"hr@{k}"] = hit_ratio(ranks, k)
+        out[f"ndcg@{k}"] = ndcg(ranks, k)
+    return out

@@ -1,0 +1,30 @@
+"""``repro.experiments`` — regenerate every table and figure of the paper.
+
+Each module exposes ``run(profile=None, workers=None) -> dict`` (parallel,
+disk-cached) and ``render(results) -> str`` (the paper-shaped ASCII
+table). The benchmark suite under ``benchmarks/`` wraps these one-to-one.
+"""
+
+from . import (figure3_convergence, table1_capabilities, table2_datasets,
+               table3_source, table4_transfer, table5_versatility,
+               table6_single_source, table7_coldstart, table8_ablation)
+from .runner import cache_dir, cell_key, load_cached, run_cells
+
+__all__ = [
+    "table1_capabilities", "table2_datasets", "table3_source",
+    "table4_transfer", "table5_versatility", "table6_single_source",
+    "table7_coldstart", "table8_ablation", "figure3_convergence",
+    "run_cells", "cache_dir", "cell_key", "load_cached",
+]
+
+ALL_TABLES = {
+    "table1": table1_capabilities,
+    "table2": table2_datasets,
+    "table3": table3_source,
+    "table4": table4_transfer,
+    "table5": table5_versatility,
+    "table6": table6_single_source,
+    "table7": table7_coldstart,
+    "table8": table8_ablation,
+    "figure3": figure3_convergence,
+}

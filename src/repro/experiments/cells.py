@@ -1,0 +1,214 @@
+"""Atomic experiment cells — one training/evaluation run each.
+
+Every function here is a pure function of its keyword arguments returning
+a JSON-serializable dict, so the runner can cache and parallelize freely.
+Model checkpoints produced by pre-training cells are written into the
+cache directory and referenced by name.
+"""
+
+from __future__ import annotations
+
+from ..baselines import TRANSFERABLE_BASELINES, make_baseline
+from ..core import PMMRec, PMMRecConfig, transferred_model
+from ..data import build_dataset, cold_start_examples, fuse_datasets
+from ..eval import evaluate_model
+from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..train import TrainConfig, Trainer
+from .runner import cache_dir
+
+__all__ = ["source_performance", "pretrain_model", "transfer_finetune",
+            "ablation_variant", "design_ablation"]
+
+#: Training budgets per phase (see DESIGN.md §5): from-scratch modality
+#: models converge slowly (that is itself a paper finding, Fig. 3), so
+#: scratch runs get a long budget; fine-tuning from a pre-trained state
+#: converges within a few epochs.
+SCRATCH = dict(epochs=60, patience=8, batch_size=32, eval_every=2)
+PRETRAIN = dict(epochs=16, patience=4, batch_size=32, eval_every=2)
+FINETUNE = dict(epochs=24, patience=5, batch_size=24)
+
+#: Modality-based models optimize reliably at a higher learning rate than
+#: the ID-based ones at this scale (per-method LR tuning, as is standard).
+_MODALITY_LR = 4e-3
+_DEFAULT_LR = 2e-3
+
+
+def _lr_for(method: str) -> float:
+    if method.startswith("pmmrec") or method in ("morec++", "morec"):
+        return _MODALITY_LR
+    return _DEFAULT_LR
+
+_EVAL_KS = (10, 20, 50)
+
+
+def _make_pmmrec(variant: str, seed: int) -> PMMRec:
+    """PMMRec factory for the named variant (modality or ablation)."""
+    base = dict(seed=seed)
+    if variant == "pmmrec":
+        return PMMRec(PMMRecConfig(**base))
+    if variant == "pmmrec-text":
+        return PMMRec(PMMRecConfig(modality="text", **base))
+    if variant == "pmmrec-vision":
+        return PMMRec(PMMRecConfig(modality="vision", **base))
+    if variant == "pmmrec-wo-nicl":
+        return PMMRec(PMMRecConfig(alignment="none", **base))
+    if variant == "pmmrec-only-vcl":
+        return PMMRec(PMMRecConfig(alignment="vcl", **base))
+    if variant == "pmmrec-only-icl":
+        return PMMRec(PMMRecConfig(alignment="icl", **base))
+    if variant == "pmmrec-only-ncl":
+        return PMMRec(PMMRecConfig(alignment="ncl", **base))
+    if variant == "pmmrec-wo-nid":
+        return PMMRec(PMMRecConfig(use_nid=False, **base))
+    if variant == "pmmrec-wo-rcl":
+        return PMMRec(PMMRecConfig(use_rcl=False, **base))
+    raise KeyError(f"unknown PMMRec variant {variant!r}")
+
+
+def _build(method: str, dataset, seed: int):
+    """Instantiate any method (baseline or PMMRec variant) for a dataset."""
+    if method.startswith("pmmrec"):
+        return _make_pmmrec(method, seed)
+    return make_baseline(method, dataset, seed=seed)
+
+
+def _is_multitask(method: str) -> bool:
+    return method.startswith("pmmrec")
+
+
+def source_performance(method: str, dataset_name: str, profile: str,
+                       seed: int = 1, with_cold: bool = True) -> dict:
+    """Train ``method`` from scratch on a source dataset (Tables III & VII).
+
+    Returns test metrics and, optionally, metrics on the cold-start
+    evaluation subset built from the same dataset.
+    """
+    dataset = build_dataset(dataset_name, profile=profile)
+    model = _build(method, dataset, seed)
+    trainer = Trainer(model, dataset,
+                      TrainConfig(seed=seed, lr=_lr_for(method), **SCRATCH),
+                      pretraining=_is_multitask(method))
+    fit = trainer.fit()
+    test = evaluate_model(model, dataset, dataset.split.test, ks=_EVAL_KS)
+    out = {"method": method, "dataset": dataset_name,
+           "best_val": fit.best_metric, "epochs": fit.epochs_run,
+           "test": test}
+    if with_cold:
+        cold = cold_start_examples(dataset.sequences, dataset.split.train,
+                                   dataset.num_items, threshold=10)
+        out["cold"] = evaluate_model(model, dataset, cold, ks=(10,))
+        out["cold_examples"] = len(cold)
+    return out
+
+
+def pretrain_model(method: str, sources: tuple[str, ...] | list[str],
+                   profile: str, seed: int = 1) -> dict:
+    """Pre-train a transferable method on fused source datasets (Sec. IV-C).
+
+    The checkpoint is stored in the cache directory; its name is returned
+    for downstream fine-tuning cells.
+    """
+    sources = tuple(sources)
+    if method not in TRANSFERABLE_BASELINES and not method.startswith("pmmrec"):
+        raise ValueError(f"{method!r} is not transferable")
+    datasets = [build_dataset(name, profile=profile) for name in sources]
+    corpus = (fuse_datasets(datasets, name="fused-" + "-".join(sources))
+              if len(datasets) > 1 else datasets[0])
+    model = _build(method, corpus, seed)
+    trainer = Trainer(model, corpus,
+                      TrainConfig(seed=seed, lr=_lr_for(method), **PRETRAIN),
+                      pretraining=_is_multitask(method))
+    fit = trainer.fit()
+    ckpt_name = f"ckpt-{method}-{'-'.join(sources)}-{profile}-s{seed}"
+    save_checkpoint(model, str(cache_dir() / ckpt_name))
+    return {"method": method, "sources": list(sources),
+            "checkpoint": ckpt_name, "best_val": fit.best_metric,
+            "epochs": fit.epochs_run}
+
+
+def transfer_finetune(method: str, target: str, profile: str,
+                      use_pt: bool, checkpoint: str | None = None,
+                      setting: str = "full", seed: int = 1,
+                      record_curve: bool = False,
+                      curve_epochs: int = 24) -> dict:
+    """Fine-tune on a downstream dataset (Tables IV-VI, Figure 3).
+
+    With ``use_pt`` the model starts from ``checkpoint``; PMMRec transfers
+    the component subset named by ``setting`` (Sec. III-E3). Without
+    ``use_pt`` the model trains from scratch on the target. When
+    ``record_curve`` is set, early stopping is disabled so the full
+    convergence trajectory is recorded (Figure 3).
+    """
+    dataset = build_dataset(target, profile=profile)
+    if method.startswith("pmmrec"):
+        if use_pt:
+            source_model = _make_pmmrec("pmmrec", seed)
+            state = load_checkpoint(str(cache_dir() / (checkpoint + ".npz")))
+            source_model.load_state_dict(state)
+            model = transferred_model(source_model, setting)
+        else:
+            model = _make_pmmrec(method, seed)
+    else:
+        model = _build(method, dataset, seed)
+        if use_pt:
+            state = load_checkpoint(str(cache_dir() / (checkpoint + ".npz")))
+            model.load_state_dict(state)
+
+    budget = dict(FINETUNE if use_pt else SCRATCH)
+    if record_curve:
+        budget.update(epochs=curve_epochs, patience=curve_epochs + 1,
+                      eval_every=1)
+    # Paper Sec. III-E2: fine-tuning uses the DAP objective only; training
+    # from scratch keeps the full multi-task objective.
+    multitask = _is_multitask(method) and not use_pt
+    trainer = Trainer(model, dataset,
+                      TrainConfig(seed=seed, lr=_lr_for(method), **budget),
+                      pretraining=multitask)
+    fit = trainer.fit()
+    test = evaluate_model(model, dataset, dataset.split.test, ks=_EVAL_KS)
+    return {"method": method, "target": target, "setting": setting,
+            "use_pt": use_pt, "best_val": fit.best_metric,
+            "epochs": fit.epochs_run, "test": test,
+            "curve": [[e, m] for e, m in fit.curve]}
+
+
+def ablation_variant(variant: str, dataset_name: str, profile: str,
+                     seed: int = 1) -> dict:
+    """Train a PMMRec objective-ablation variant from scratch (Table VIII)."""
+    dataset = build_dataset(dataset_name, profile=profile)
+    model = _make_pmmrec(variant, seed)
+    trainer = Trainer(model, dataset,
+                      TrainConfig(seed=seed, lr=_MODALITY_LR, **SCRATCH),
+                      pretraining=True)
+    fit = trainer.fit()
+    test = evaluate_model(model, dataset, dataset.split.test, ks=(10,))
+    return {"variant": variant, "dataset": dataset_name,
+            "best_val": fit.best_metric, "epochs": fit.epochs_run,
+            "test": test}
+
+
+def design_ablation(kind: str, value: float, dataset_name: str,
+                    profile: str, seed: int = 1) -> dict:
+    """Extension ablations over design choices DESIGN.md calls out.
+
+    ``kind='temperature'`` sweeps the contrastive temperature of the
+    alignment objective; ``kind='corruption'`` sweeps the NID shuffle rate
+    (replacement stays at the paper's 1:3 ratio to shuffling).
+    """
+    dataset = build_dataset(dataset_name, profile=profile)
+    if kind == "temperature":
+        config = PMMRecConfig(seed=seed, temperature=float(value))
+    elif kind == "corruption":
+        config = PMMRecConfig(seed=seed, nid_shuffle_frac=float(value),
+                              nid_replace_frac=float(value) / 3.0)
+    else:
+        raise KeyError(f"unknown design ablation {kind!r}")
+    model = PMMRec(config)
+    trainer = Trainer(model, dataset,
+                      TrainConfig(seed=seed, lr=_MODALITY_LR, **SCRATCH),
+                      pretraining=True)
+    fit = trainer.fit()
+    test = evaluate_model(model, dataset, dataset.split.test, ks=(10,))
+    return {"kind": kind, "value": value, "dataset": dataset_name,
+            "best_val": fit.best_metric, "epochs": fit.epochs_run,
+            "test": test}

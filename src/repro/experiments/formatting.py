@@ -1,0 +1,44 @@
+"""ASCII rendering of experiment tables (mirrors the paper's layout)."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "pct", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def pct(value: float, digits: int = 2) -> str:
+    """Render a fraction as the percentage format the paper uses."""
+    return f"{100.0 * value:.{digits}f}"
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list[str]]) -> str:
+    """Align columns and frame the table with its title."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells) -> str:
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", fmt_row(headers), sep]
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """Compress a metric curve into a unicode sparkline (for Figure 3)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample evenly to the target width.
+        idx = [round(i * (len(values) - 1) / (width - 1))
+               for i in range(width)]
+        values = [values[i] for i in idx]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(_BLOCKS[int((v - low) / span * (len(_BLOCKS) - 1))]
+                   for v in values)

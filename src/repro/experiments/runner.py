@@ -1,0 +1,114 @@
+"""Experiment execution: disk cache + parallel cell runner.
+
+Every table/figure decomposes into independent *cells* (one training run
+each). Cells are pure functions of their keyword arguments, so results are
+cached on disk under a stable hash and expensive tables are only computed
+once; re-running ``pytest benchmarks/`` afterwards replays from cache.
+Set ``REPRO_FORCE=1`` to ignore the cache and recompute.
+
+Cells run in a process pool (``REPRO_WORKERS`` overrides the worker count)
+because the numpy substrate is single-threaded per run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["cache_dir", "cell_key", "run_cells", "load_cached",
+           "CACHE_VERSION"]
+
+#: Bump to invalidate all cached results after behaviour-changing edits.
+CACHE_VERSION = 4
+
+
+def cache_dir() -> Path:
+    """Root of the on-disk experiment cache (created on demand)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        root = Path(override)
+    else:
+        root = Path(__file__).resolve().parents[3] / ".repro_cache"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def cell_key(fn_name: str, **kwargs) -> str:
+    """Stable cache key for one cell invocation."""
+    payload = json.dumps({"fn": fn_name, "v": CACHE_VERSION, **kwargs},
+                         sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def load_cached(key: str) -> dict | None:
+    """Return a cached cell result, or None."""
+    if os.environ.get("REPRO_FORCE") == "1":
+        return None
+    path = cache_dir() / f"{key}.json"
+    if path.exists():
+        with open(path) as handle:
+            return json.load(handle)
+    return None
+
+
+def _store(key: str, result: dict) -> None:
+    path = cache_dir() / f"{key}.json"
+    with open(path, "w") as handle:
+        json.dump(result, handle)
+
+
+def _worker(payload: tuple[str, dict]) -> dict:
+    """Resolve and execute one cell inside a worker process."""
+    fn_name, kwargs = payload
+    from . import cells
+    fn: Callable[..., dict] = getattr(cells, fn_name)
+    return fn(**kwargs)
+
+
+def _default_workers() -> int:
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(int(env), 1)
+    return max(min((os.cpu_count() or 2) - 2, 14), 1)
+
+
+def run_cells(tasks: dict[Any, tuple[str, dict]],
+              workers: int | None = None) -> dict[Any, dict]:
+    """Execute cells, reading/writing the cache; returns results by task id.
+
+    ``tasks`` maps an arbitrary id to ``(cell_fn_name, kwargs)``. Cached
+    cells never reach the pool; the rest run in parallel.
+    """
+    results: dict[Any, dict] = {}
+    pending: dict[Any, tuple[str, dict, str]] = {}
+    for task_id, (fn_name, kwargs) in tasks.items():
+        key = cell_key(fn_name, **kwargs)
+        cached = load_cached(key)
+        if cached is not None:
+            results[task_id] = cached
+        else:
+            pending[task_id] = (fn_name, kwargs, key)
+
+    if not pending:
+        return results
+
+    worker_count = workers or _default_workers()
+    if worker_count == 1 or len(pending) == 1:
+        for task_id, (fn_name, kwargs, key) in pending.items():
+            result = _worker((fn_name, kwargs))
+            _store(key, result)
+            results[task_id] = result
+        return results
+
+    with ProcessPoolExecutor(max_workers=worker_count) as pool:
+        futures = {task_id: pool.submit(_worker, (fn_name, kwargs))
+                   for task_id, (fn_name, kwargs, _) in pending.items()}
+        for task_id, future in futures.items():
+            result = future.result()
+            _store(pending[task_id][2], result)
+            results[task_id] = result
+    return results

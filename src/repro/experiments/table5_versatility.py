@@ -1,0 +1,65 @@
+"""Table V — versatile transfer learning settings of PMMRec.
+
+Eight columns per target: PMMRec-T / PMMRec-V (single-modality) without
+and with pre-training, and multi-modal PMMRec from scratch / transferring
+item encoders (PT-I) / transferring the user encoder (PT-U) / full
+transfer (PT). Shares the fused-source checkpoint with Table IV.
+"""
+
+from __future__ import annotations
+
+from ..data import downstream_names, get_profile
+from .formatting import format_table, pct
+from .runner import run_cells
+from .table4_transfer import pretrain_all
+
+__all__ = ["run", "render", "COLUMNS"]
+
+#: column label -> (method, use_pt, transfer setting)
+COLUMNS: dict[str, tuple[str, bool, str]] = {
+    "T w/o PT": ("pmmrec-text", False, "full"),
+    "T w. PT": ("pmmrec", True, "text_only"),
+    "V w/o PT": ("pmmrec-vision", False, "full"),
+    "V w. PT": ("pmmrec", True, "vision_only"),
+    "M w/o PT": ("pmmrec", False, "full"),
+    "M w. PT-I": ("pmmrec", True, "item_encoders"),
+    "M w. PT-U": ("pmmrec", True, "user_encoder"),
+    "M w. PT": ("pmmrec", True, "full"),
+}
+
+_METRICS = ("hr@10", "ndcg@10")
+
+
+def run(profile: str | None = None, workers: int | None = None) -> dict:
+    """Evaluate all 8 settings on all 10 downstream datasets."""
+    profile_name = get_profile(profile).name
+    checkpoint = pretrain_all(profile_name, workers=workers)["pmmrec"]
+
+    tasks = {}
+    for target in downstream_names():
+        for label, (method, use_pt, setting) in COLUMNS.items():
+            tasks[(target, label)] = (
+                "transfer_finetune",
+                dict(method=method, target=target, profile=profile_name,
+                     use_pt=use_pt,
+                     checkpoint=checkpoint if use_pt else None,
+                     setting=setting, seed=1))
+    results = run_cells(tasks, workers=workers)
+
+    table: dict[str, dict[str, dict[str, float]]] = {}
+    for (target, label), res in results.items():
+        table.setdefault(target, {})[label] = res["test"]
+    return {"profile": profile_name, "table": table}
+
+
+def render(results: dict) -> str:
+    """Format the results dict as the paper-shaped ASCII table."""
+    headers = ["Dataset", "Metric"] + list(COLUMNS)
+    rows = []
+    for target, by_label in results["table"].items():
+        for metric in _METRICS:
+            row = [target, metric]
+            row.extend(pct(by_label[c][metric]) for c in COLUMNS)
+            rows.append(row)
+    return format_table(
+        "Table V: versatile transfer learning settings (%)", headers, rows)

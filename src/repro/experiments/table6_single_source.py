@@ -1,0 +1,75 @@
+"""Table VI — single-source, cross-platform transfer learning.
+
+PMMRec is pre-trained on one source platform at a time and fine-tuned on
+each of the 10 downstream datasets. Columns: ID-based SASRec from scratch,
+PMMRec from scratch ("No Source"), then one column per single source. The
+paper's headline findings: the homogeneous source (diagonal) wins, and
+complex→simple transfers (Bili/Kwai → HM/Amazon) hold up better than
+simple→complex ones.
+"""
+
+from __future__ import annotations
+
+from ..data import downstream_names, get_profile, source_names
+from .formatting import format_table, pct
+from .runner import run_cells
+
+__all__ = ["run", "render"]
+
+_METRICS = ("hr@10", "ndcg@10")
+
+
+def run(profile: str | None = None, workers: int | None = None) -> dict:
+    """Pre-train per source, then fine-tune on every downstream target."""
+    profile_name = get_profile(profile).name
+    pretrain_tasks = {
+        source: ("pretrain_model",
+                 dict(method="pmmrec", sources=[source],
+                      profile=profile_name, seed=1))
+        for source in source_names()}
+    checkpoints = {source: res["checkpoint"] for source, res
+                   in run_cells(pretrain_tasks, workers=workers).items()}
+
+    tasks = {}
+    for target in downstream_names():
+        tasks[(target, "sasrec")] = (
+            "transfer_finetune",
+            dict(method="sasrec", target=target, profile=profile_name,
+                 use_pt=False, checkpoint=None, setting="full", seed=1))
+        tasks[(target, "scratch")] = (
+            "transfer_finetune",
+            dict(method="pmmrec", target=target, profile=profile_name,
+                 use_pt=False, checkpoint=None, setting="full", seed=1))
+        for source in source_names():
+            tasks[(target, source)] = (
+                "transfer_finetune",
+                dict(method="pmmrec", target=target, profile=profile_name,
+                     use_pt=True, checkpoint=checkpoints[source],
+                     setting="full", seed=1))
+    results = run_cells(tasks, workers=workers)
+
+    table: dict[str, dict[str, dict[str, float]]] = {}
+    for (target, column), res in results.items():
+        table.setdefault(target, {})[column] = res["test"]
+    return {"profile": profile_name, "table": table}
+
+
+def render(results: dict) -> str:
+    """Format the results dict as the paper-shaped ASCII table."""
+    columns = ["sasrec", "scratch"] + list(source_names())
+    headers = (["Dataset", "Metric", "ID w/o PT", "w/o PT"]
+               + [f"src:{s}" for s in source_names()])
+    rows = []
+    for target, by_column in results["table"].items():
+        home = target.split("_")[0]
+        for metric in _METRICS:
+            row = [target, metric]
+            for column in columns:
+                cell = pct(by_column[column][metric])
+                if column == home:
+                    cell += "*"        # homogeneous-source cell
+                row.append(cell)
+            rows.append(row)
+    return format_table(
+        "Table VI: single-source transfer (%; * = homogeneous source)",
+        headers, rows)

@@ -1,0 +1,5 @@
+"""``repro.fusion`` — merge-attention multi-modal fusion (paper Eq. 3)."""
+
+from .merge_attention import FusionConfig, MergeAttentionFusion
+
+__all__ = ["FusionConfig", "MergeAttentionFusion"]

@@ -1,0 +1,78 @@
+"""Merge-attention multi-modal fusion (paper Eq. 3).
+
+Concatenates per-token text hiddens and per-patch vision hiddens behind a
+learnable multi-modal CLS symbol and runs a single Transformer layer over
+the joint sequence; the CLS output is the fused item representation
+``e_cls`` consumed by the user encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import init as nn_init
+from ..nn.tensor import Tensor, concat
+
+__all__ = ["FusionConfig", "MergeAttentionFusion"]
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """Hyper-parameters of the fusion block."""
+
+    dim: int = 32
+    num_heads: int = 4
+    num_blocks: int = 1
+    dropout: float = 0.1
+
+
+class MergeAttentionFusion(nn.Module):
+    """Single-stream fusion: ``[mm_cls ; text tokens ; image patches]``."""
+
+    def __init__(self, config: FusionConfig,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = nn_init.default_rng(rng)
+        self.config = config
+        self.mm_cls = nn.Parameter(0.02 * rng.normal(size=(1, 1, config.dim)))
+        self.type_emb = nn.Embedding(3, config.dim, rng=rng)  # cls/text/image
+        self.blocks = nn.ModuleList([
+            nn.TransformerBlock(config.dim, config.num_heads,
+                                dropout=config.dropout, rng=rng)
+            for _ in range(config.num_blocks)])
+        self.final_norm = nn.LayerNorm(config.dim)
+
+    def forward(self, text_hidden: Tensor, text_mask: np.ndarray,
+                vision_hidden: Tensor) -> Tensor:
+        """Fuse the two modality streams into ``(B, d)`` item embeddings.
+
+        Parameters
+        ----------
+        text_hidden:
+            ``(B, p, d)`` text-token hiddens (CLS column already removed).
+        text_mask:
+            Boolean ``(B, p)`` validity of text tokens.
+        vision_hidden:
+            ``(B, q, d)`` image-patch hiddens (CLS column already removed).
+        """
+        batch = text_hidden.shape[0]
+        cls = self.mm_cls + Tensor(np.zeros((batch, 1, self.config.dim)))
+        token_types = np.concatenate([
+            np.zeros((batch, 1), dtype=np.int64),
+            np.ones((batch, text_hidden.shape[1]), dtype=np.int64),
+            np.full((batch, vision_hidden.shape[1]), 2, dtype=np.int64),
+        ], axis=1)
+        x = concat([cls, text_hidden, vision_hidden], axis=1)
+        x = x + self.type_emb(token_types)
+        valid = np.concatenate([
+            np.ones((batch, 1), dtype=bool),
+            np.asarray(text_mask, dtype=bool),
+            np.ones((batch, vision_hidden.shape[1]), dtype=bool),
+        ], axis=1)
+        mask = nn.padding_mask(valid)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        return self.final_norm(x)[:, 0, :]

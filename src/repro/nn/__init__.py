@@ -1,0 +1,34 @@
+"""``repro.nn`` — a numpy reverse-mode autodiff engine with NN layers.
+
+This subpackage replaces PyTorch for the reproduction (see DESIGN.md §1):
+tensors with autograd, transformer / recurrent / convolutional layers,
+optimizers and checkpointing. Gradient correctness is property-tested
+against finite differences.
+"""
+
+from .attention import MultiHeadAttention, TransformerBlock, causal_mask, padding_mask
+from .convolution import CausalConv1d, NextItNetResidualBlock
+from .modules import (Dropout, Embedding, FeedForward, Identity, LayerNorm,
+                      Linear, Module, ModuleList, Sequential)
+from .ops import (cosine_similarity, cross_entropy, dropout, embedding, gelu,
+                  info_nce, log_softmax, masked_fill, softmax, take_rows)
+from .optim import (Adam, AdamW, ConstantSchedule, SGD, WarmupCosineSchedule,
+                    clip_grad_norm)
+from .recurrent import GRU, GRUCell
+from .serialization import (filter_state, load_checkpoint, save_checkpoint,
+                            strip_prefix)
+from .tensor import Parameter, Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
+
+__all__ = [
+    "Tensor", "Parameter", "as_tensor", "concat", "stack", "where",
+    "no_grad", "is_grad_enabled",
+    "Module", "ModuleList", "Sequential", "Identity",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "FeedForward",
+    "MultiHeadAttention", "TransformerBlock", "causal_mask", "padding_mask",
+    "GRU", "GRUCell", "CausalConv1d", "NextItNetResidualBlock",
+    "softmax", "log_softmax", "cross_entropy", "embedding", "take_rows",
+    "gelu", "masked_fill", "dropout", "info_nce", "cosine_similarity",
+    "SGD", "Adam", "AdamW", "clip_grad_norm",
+    "ConstantSchedule", "WarmupCosineSchedule",
+    "save_checkpoint", "load_checkpoint", "filter_state", "strip_prefix",
+]

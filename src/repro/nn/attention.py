@@ -1,0 +1,97 @@
+"""Multi-head attention and Transformer encoder blocks.
+
+Used for every Transformer in the paper: the RoBERTa-style text encoder,
+the ViT vision encoder, the merge-attention fusion block (Eq. 3) and the
+SASRec-style user encoder (Eq. 4, causal variant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import Dropout, FeedForward, LayerNorm, Linear, Module
+from .ops import masked_fill, softmax
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "TransformerBlock", "causal_mask", "padding_mask"]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean ``(length, length)`` mask; True marks *disallowed* positions."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+def padding_mask(valid: np.ndarray) -> np.ndarray:
+    """Turn a ``(batch, length)`` validity mask into an attention mask.
+
+    Returns boolean ``(batch, 1, 1, length)``; True marks key positions that
+    must not be attended to (padding).
+    """
+    valid = np.asarray(valid, dtype=bool)
+    return ~valid[:, None, None, :]
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` parallel heads."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} not divisible by num_heads={num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.drop = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.num_heads, self.head_dim) \
+                .transpose(0, 2, 1, 3)
+
+    def forward(self, query: Tensor, key: Tensor | None = None,
+                value: Tensor | None = None,
+                mask: np.ndarray | None = None) -> Tensor:
+        """Attend ``query`` over ``key``/``value`` (self-attention if omitted).
+
+        ``mask`` is boolean, broadcastable to ``(batch, heads, q_len, k_len)``
+        with True marking disallowed attention edges.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+        batch, q_len, _ = query.shape
+        k_len = key.shape[1]
+
+        q = self._split_heads(self.q_proj(query), batch, q_len)
+        k = self._split_heads(self.k_proj(key), batch, k_len)
+        v = self._split_heads(self.v_proj(value), batch, k_len)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (self.head_dim ** -0.5)
+        if mask is not None:
+            scores = masked_fill(scores, np.broadcast_to(mask, scores.shape))
+        weights = self.drop(softmax(scores, axis=-1))
+        context = weights @ v
+        context = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.dim)
+        return self.out_proj(context)
+
+
+class TransformerBlock(Module):
+    """Pre-LN Transformer encoder block (MHA + FFN with residuals)."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int | None = None,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        ffn_dim = ffn_dim or 4 * dim
+        self.attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.ffn = FeedForward(dim, ffn_dim, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.drop = Dropout(dropout)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.drop(self.attn(self.norm1(x), mask=mask))
+        x = x + self.drop(self.ffn(self.norm2(x)))
+        return x

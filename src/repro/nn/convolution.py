@@ -1,0 +1,71 @@
+"""Dilated causal 1-D convolutions used by the NextItNet baseline.
+
+NextItNet (Yuan et al., WSDM'19) stacks residual blocks of dilated causal
+convolutions so the receptive field grows exponentially with depth while
+never peeking at future items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .modules import LayerNorm, Module
+from .tensor import Parameter, Tensor, concat
+
+__all__ = ["CausalConv1d", "NextItNetResidualBlock"]
+
+
+class CausalConv1d(Module):
+    """Causal 1-D convolution over ``(batch, length, channels)`` input.
+
+    Output position ``t`` sees inputs ``t, t-d, t-2d, ...`` only (``d`` the
+    dilation), implemented with explicit left zero-padding so the layer is
+    shape-preserving along the time axis.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: int = 3, dilation: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = init.default_rng(rng)
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        # One weight matrix per tap; applied as shifted matmuls.
+        self.weight = Parameter(
+            init.xavier_uniform((kernel_size, in_channels, out_channels), rng))
+        self.bias = Parameter(np.zeros(out_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        pad_len = (self.kernel_size - 1) * self.dilation
+        pad = Tensor(np.zeros((batch, pad_len, self.in_channels)))
+        padded = concat([pad, x], axis=1)
+        out = None
+        for tap in range(self.kernel_size):
+            start = tap * self.dilation
+            window = padded[:, start:start + length, :]
+            term = window @ self.weight[tap]
+            out = term if out is None else out + term
+        return out + self.bias
+
+
+class NextItNetResidualBlock(Module):
+    """NextItNet residual block: two dilated causal convs with layer norm."""
+
+    def __init__(self, channels: int, kernel_size: int = 3, dilation: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.conv1 = CausalConv1d(channels, channels, kernel_size,
+                                  dilation=dilation, rng=rng)
+        self.conv2 = CausalConv1d(channels, channels, kernel_size,
+                                  dilation=2 * dilation, rng=rng)
+        self.norm1 = LayerNorm(channels)
+        self.norm2 = LayerNorm(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv1(self.norm1(x)).relu()
+        h = self.conv2(self.norm2(h)).relu()
+        return x + h

@@ -1,0 +1,64 @@
+"""Parameter initialization schemes.
+
+All initializers accept an optional ``np.random.Generator`` so model
+construction is fully deterministic given a seed — a requirement for the
+experiment harness, which must regenerate the paper's tables bit-for-bit
+across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "truncated_normal", "default_rng"]
+
+_DEFAULT_SEED = 0
+
+
+def default_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    """Return ``rng`` or a deterministic fallback generator."""
+    if rng is None:
+        return np.random.default_rng(_DEFAULT_SEED)
+    return rng
+
+
+def xavier_uniform(shape: tuple[int, ...],
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...],
+                  rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.02,
+           rng: np.random.Generator | None = None) -> np.ndarray:
+    """Gaussian init, the BERT-style default for embeddings."""
+    rng = default_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def truncated_normal(shape: tuple[int, ...], std: float = 0.02,
+                     rng: np.random.Generator | None = None,
+                     bound_stds: float = 2.0) -> np.ndarray:
+    """Gaussian init truncated at ``bound_stds`` standard deviations."""
+    rng = default_rng(rng)
+    values = rng.normal(0.0, std, size=shape)
+    limit = bound_stds * std
+    return np.clip(values, -limit, limit)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive

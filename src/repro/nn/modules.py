@@ -1,0 +1,246 @@
+"""Module system and core layers.
+
+Mirrors the familiar ``torch.nn`` surface at the scale this reproduction
+needs: attribute-based parameter registration, recursive ``state_dict``,
+train/eval mode propagation, and the basic layers (Linear, Embedding,
+LayerNorm, Dropout, feed-forward) used by every encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from . import init
+from .ops import dropout as dropout_fn
+from .ops import embedding as embedding_fn
+from .ops import gelu
+from .tensor import Parameter, Tensor
+
+__all__ = [
+    "Module", "ModuleList", "Sequential", "Linear", "Embedding",
+    "LayerNorm", "Dropout", "FeedForward", "Identity",
+]
+
+
+class Module:
+    """Base class for all neural network modules.
+
+    Parameters (:class:`repro.nn.Parameter`) and sub-modules assigned as
+    attributes are registered automatically and traversed recursively by
+    :meth:`parameters`, :meth:`state_dict` and :meth:`train`.
+    """
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training: bool = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ------------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -- train / eval ------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- serialization --------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a flat mapping of dotted parameter names to array copies."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        strict: bool = True) -> None:
+        """Load parameter values in place from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if name in state:
+                value = np.asarray(state[name], dtype=np.float64)
+                if value.shape != param.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{value.shape} vs {param.shape}")
+                param.data = value.copy()
+
+    # -- call protocol --------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """Hold an ordered list of sub-modules."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        name = str(len(self._items))
+        self._modules[name] = module
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class Sequential(Module):
+    """Apply sub-modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Identity(Module):
+    """No-op layer, useful as a default pluggable component."""
+
+    def forward(self, x):
+        return x
+
+
+class Linear(Module):
+    """Affine transform ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    ``padding_idx`` rows start at zero; their gradient updates are harmless
+    because padded positions are always masked out of the losses.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 padding_idx: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.padding_idx = padding_idx
+        table = init.normal((num_embeddings, dim), std=0.02, rng=rng)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_fn(self.weight, np.asarray(indices))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an owned RNG for reproducibility."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        super().__init__()
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.rate, self._rng, training=self.training)
+
+
+class FeedForward(Module):
+    """Transformer position-wise feed-forward block with GELU."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+        self.drop = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.drop(gelu(self.fc1(x))))

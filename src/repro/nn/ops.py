@@ -1,0 +1,166 @@
+"""Functional neural-network operations built on the autograd engine.
+
+These are the composite ops every model in the reproduction relies on:
+numerically-stable softmax / log-softmax, cross-entropy, embedding lookup
+with scatter-add backward, GELU, attention masking helpers and the InfoNCE
+contrastive objective shared by the paper's Eq. 5–11 losses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from .tensor import Tensor, as_tensor, where
+
+__all__ = [
+    "softmax", "log_softmax", "cross_entropy", "embedding", "gelu",
+    "masked_fill", "dropout", "info_nce", "cosine_similarity", "take_rows",
+]
+
+_NEG_INF = -1e9
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., num_classes)``.
+    targets:
+        Integer array of shape ``(...)``.
+    ignore_index:
+        Target value whose positions are excluded from the mean
+        (used for padded sequence positions).
+    """
+    targets = np.asarray(targets)
+    logp = log_softmax(logits, axis=-1)
+    flat = logp.reshape(-1, logp.shape[-1])
+    idx = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = idx != ignore_index
+        if not keep.any():
+            return Tensor(0.0)
+        safe_idx = np.where(keep, idx, 0)
+        picked = flat[np.arange(flat.shape[0]), safe_idx]
+        picked = picked * Tensor(keep.astype(np.float64))
+        return -(picked.sum() / float(keep.sum()))
+    picked = flat[np.arange(flat.shape[0]), idx]
+    return -picked.mean()
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` (num_embeddings, dim) by integer indices.
+
+    The backward pass scatter-adds gradients into the rows that were used,
+    which keeps sparse lookups exact even with repeated indices.
+    """
+    indices = np.asarray(indices)
+    out_data = weight.data[indices]
+
+    def backward(g):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1),
+                  g.reshape(-1, weight.shape[-1]))
+        return (full,)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def take_rows(matrix: Tensor, row_indices: np.ndarray) -> Tensor:
+    """Differentiable ``matrix[row_indices]`` (alias of :func:`embedding`)."""
+    return embedding(matrix, row_indices)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Exact GELU using the Gauss error function."""
+    x = as_tensor(x)
+    cdf = 0.5 * (1.0 + special.erf(x.data / np.sqrt(2.0)))
+    pdf = np.exp(-0.5 * x.data ** 2) / np.sqrt(2.0 * np.pi)
+
+    def backward(g):
+        return (g * (cdf + x.data * pdf),)
+
+    return Tensor._make(x.data * cdf, (x,), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float = _NEG_INF) -> Tensor:
+    """Set positions where ``mask`` is True to ``value`` (mask is constant)."""
+    return where(np.asarray(mask, dtype=bool), Tensor(np.full(x.shape, value)), x)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-rate)``."""
+    if not training or rate <= 0.0:
+        return x
+    keep = (rng.random(x.shape) >= rate).astype(np.float64)
+    return x * Tensor(keep / (1.0 - rate))
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Cosine similarity along ``axis`` with L2 normalization."""
+    return (a.l2_normalize(axis=axis) * b.l2_normalize(axis=axis)).sum(axis=axis)
+
+
+def info_nce(scores: Tensor, positive_mask: np.ndarray,
+             candidate_mask: np.ndarray | None = None) -> Tensor:
+    """Generalized InfoNCE over a score matrix.
+
+    Computes ``-log(sum_pos exp(s) / sum_cand exp(s))`` per row and averages.
+    This single primitive expresses DAP (Eq. 5), VCL (Eq. 6), ICL (Eq. 7),
+    NICL (Eq. 8) and RCL (Eq. 11): each differs only in how the score matrix
+    and its positive / candidate masks are constructed.
+
+    Parameters
+    ----------
+    scores:
+        ``(rows, cols)`` similarity scores (already temperature-scaled).
+    positive_mask:
+        Boolean ``(rows, cols)``; True marks positive pairs (the numerator
+        terms). Rows without any positive are skipped. Positives need NOT
+        be a subset of the candidates — PMMRec's NICL (Eq. 8) puts its
+        next-item positives in the numerator only.
+    candidate_mask:
+        Boolean ``(rows, cols)``; True marks scores in the denominator.
+        Defaults to all-True.
+    """
+    positive_mask = np.asarray(positive_mask, dtype=bool)
+    if candidate_mask is None:
+        candidate_mask = np.ones_like(positive_mask)
+    candidate_mask = np.asarray(candidate_mask, dtype=bool)
+    valid_rows = positive_mask.any(axis=1)
+    if not valid_rows.any():
+        return Tensor(0.0)
+
+    # Stabilize with the max over every score that will be exponentiated
+    # (candidates and positives); everything else is masked to -inf first.
+    union = candidate_mask | positive_mask
+    masked = masked_fill(scores, ~union)
+    row_max = Tensor(masked.data.max(axis=1, keepdims=True))
+    exp = (masked - row_max).exp()
+    denom = (exp * Tensor(candidate_mask.astype(np.float64))).sum(axis=1)
+    numer = (exp * Tensor(positive_mask.astype(np.float64))).sum(axis=1)
+    # Rows without positives contribute zero loss; pad their log args to 1
+    # so that 0 * log(0) never produces a NaN in forward or backward.
+    pad = Tensor((~valid_rows).astype(np.float64))
+    losses = ((denom + pad).log() - (numer + pad).log())
+    losses = losses * Tensor(valid_rows.astype(np.float64))
+    return losses.sum() / float(valid_rows.sum())

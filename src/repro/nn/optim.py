@@ -1,0 +1,158 @@
+"""Optimizers, gradient clipping and learning-rate schedules.
+
+The paper trains with AdamW and early stopping; we provide SGD, Adam and
+AdamW (decoupled weight decay, Loshchilov & Hutter 2019) plus global-norm
+gradient clipping and warmup/cosine schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["SGD", "Adam", "AdamW", "clip_grad_norm", "WarmupCosineSchedule",
+           "ConstantSchedule"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm, which the trainer logs to detect
+    exploding gradients.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class _Optimizer:
+    """Shared bookkeeping: parameter list, zero_grad, lr handling."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(_Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * p.data  # L2, coupled
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            p.data -= self.lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the paper's optimizer)."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        super().__init__(parameters, lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_decay = weight_decay
+
+    def step(self) -> None:
+        if self.decoupled_decay > 0.0:
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.data -= self.lr * self.decoupled_decay * p.data
+        super().step()
+
+
+class ConstantSchedule:
+    """Keep the optimizer learning rate fixed."""
+
+    def __init__(self, optimizer: _Optimizer):
+        self.optimizer = optimizer
+
+    def step(self) -> None:  # pragma: no cover - trivially nothing to do
+        pass
+
+
+class WarmupCosineSchedule:
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+
+    def __init__(self, optimizer: _Optimizer, warmup_steps: int,
+                 total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = max(warmup_steps, 0)
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        if self.warmup_steps and self._step <= self.warmup_steps:
+            lr = self.base_lr * self._step / self.warmup_steps
+        else:
+            done = min(self._step, self.total_steps)
+            span = max(self.total_steps - self.warmup_steps, 1)
+            progress = (done - self.warmup_steps) / span
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+                1.0 + math.cos(math.pi * progress))
+        self.optimizer.lr = lr

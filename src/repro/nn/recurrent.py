@@ -1,0 +1,62 @@
+"""Recurrent layers (GRU) used by the GRU4Rec baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .modules import Module
+from .tensor import Parameter, Tensor, concat
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single Gated Recurrent Unit step.
+
+    Implements the standard update/reset/candidate gating:
+    ``z = sigmoid(x Wz + h Uz)``, ``r = sigmoid(x Wr + h Ur)``,
+    ``n = tanh(x Wn + (r * h) Un)``, ``h' = (1 - z) * n + z * h``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = init.default_rng(rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_input = Parameter(init.xavier_uniform((input_dim, 3 * hidden_dim), rng))
+        self.w_hidden = Parameter(init.xavier_uniform((hidden_dim, 3 * hidden_dim), rng))
+        self.bias = Parameter(np.zeros(3 * hidden_dim))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        d = self.hidden_dim
+        gates_x = x @ self.w_input + self.bias
+        gates_h = h @ self.w_hidden
+        z = (gates_x[:, 0:d] + gates_h[:, 0:d]).sigmoid()
+        r = (gates_x[:, d:2 * d] + gates_h[:, d:2 * d]).sigmoid()
+        n = (gates_x[:, 2 * d:] + r * gates_h[:, 2 * d:]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """Unrolled GRU over a ``(batch, length, input_dim)`` sequence.
+
+    Returns the hidden state at every step, ``(batch, length, hidden_dim)``,
+    which GRU4Rec scores against item representations position-wise.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for t in range(length):
+            h = self.cell(x[:, t, :], h)
+            outputs.append(h.reshape(batch, 1, self.hidden_dim))
+        return concat(outputs, axis=1)

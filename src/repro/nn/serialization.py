@@ -1,0 +1,48 @@
+"""Checkpoint (de)serialization for modules.
+
+Checkpoints are plain ``.npz`` archives of the flat ``state_dict`` mapping,
+so transferring a pre-trained component (e.g. only the item encoders, per
+Sec. III-E of the paper) is just loading a filtered sub-dictionary.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "filter_state", "strip_prefix"]
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Write ``module.state_dict()`` to ``path`` as an npz archive."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_checkpoint(path: str) -> dict[str, np.ndarray]:
+    """Read a state dict saved by :func:`save_checkpoint`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def filter_state(state: dict[str, np.ndarray],
+                 prefixes: tuple[str, ...]) -> dict[str, np.ndarray]:
+    """Keep only entries whose dotted name starts with one of ``prefixes``."""
+    return {name: value for name, value in state.items()
+            if name.startswith(prefixes)}
+
+
+def strip_prefix(state: dict[str, np.ndarray], prefix: str) -> dict[str, np.ndarray]:
+    """Remove ``prefix`` from every key (for loading into a sub-module)."""
+    out = {}
+    for name, value in state.items():
+        if name.startswith(prefix):
+            out[name[len(prefix):]] = value
+    return out

@@ -1,0 +1,479 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate of the whole reproduction: every
+model (PMMRec, the baselines, the text/vision encoders) is expressed as a
+graph of :class:`Tensor` operations, and every training objective is
+optimized with gradients produced by :meth:`Tensor.backward`.
+
+The engine is deliberately small and explicit:
+
+* A :class:`Tensor` wraps an ``np.ndarray`` plus an optional gradient.
+* Each differentiable operation records a backward closure and its parent
+  tensors; ``backward()`` topologically sorts the graph and accumulates
+  gradients.
+* Broadcasting follows numpy semantics; gradients are un-broadcast by
+  summing over the broadcast axes.
+
+Gradient correctness for every primitive is property-tested against central
+finite differences in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED[-1]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` ndarray unless it
+        already is a float ndarray.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a graph node from an op result and its backward closure."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- backward --------------------------------------------------------------
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient; defaults to ones (only valid for scalars is
+            the usual convention, but any shape matching ``self`` works).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the subgraph reachable from self.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._backward_dispatch(node_grad, grads)
+
+    def _backward_dispatch(self, node_grad: np.ndarray,
+                           grads: dict[int, np.ndarray]) -> None:
+        """Run the backward closure, routing parent grads into ``grads``."""
+        parent_grads = self._backward(node_grad)
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+        a, b = self, other
+
+        def backward(g):
+            return (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+        return Tensor._make(-self.data, (a,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data * b.data
+
+        def backward(g):
+            return (_unbroadcast(g * b.data, a.shape),
+                    _unbroadcast(g * a.data, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data / b.data
+
+        def backward(g):
+            ga = _unbroadcast(g / b.data, a.shape)
+            gb = _unbroadcast(-g * a.data / (b.data ** 2), b.shape)
+            return (ga, gb)
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+        out_data = a.data ** exponent
+
+        def backward(g):
+            return (g * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data @ b.data
+
+        def backward(g):
+            if b.data.ndim == 1:
+                # (…, n) @ (n,) -> (…,)
+                ga = np.expand_dims(g, -1) * b.data
+                gb = np.tensordot(g, a.data, axes=(range(g.ndim), range(g.ndim)))
+            elif a.data.ndim == 1:
+                # (n,) @ (n, m) -> (m,)
+                ga = g @ np.swapaxes(b.data, -1, -2)
+                gb = np.outer(a.data, g)
+            else:
+                ga = g @ np.swapaxes(b.data, -1, -2)
+                gb = np.swapaxes(a.data, -1, -2) @ g
+                ga = _unbroadcast(ga, a.shape)
+                gb = _unbroadcast(gb, b.shape)
+            return (ga, gb)
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # -- elementwise functions ---------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+        return Tensor._make(out_data, (a,), lambda g: (g * out_data,))
+
+    def log(self) -> "Tensor":
+        a = self
+        return Tensor._make(np.log(a.data), (a,), lambda g: (g / a.data,))
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+        return Tensor._make(out_data, (a,), lambda g: (g * 0.5 / out_data,))
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+        return Tensor._make(out_data, (a,), lambda g: (g * (1.0 - out_data ** 2),))
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-a.data))
+        return Tensor._make(out_data, (a,),
+                            lambda g: (g * out_data * (1.0 - out_data),))
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+        return Tensor._make(a.data * mask, (a,), lambda g: (g * mask,))
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(a.data)
+        return Tensor._make(np.abs(a.data), (a,), lambda g: (g * sign,))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        a = self
+        mask = (a.data >= low) & (a.data <= high)
+        return Tensor._make(np.clip(a.data, low, high), (a,),
+                            lambda g: (g * mask,))
+
+    # -- reductions ----------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g = np.asarray(g)
+            if axis is None:
+                return (np.broadcast_to(g, a.shape).copy(),)
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                for ax in sorted(ax % a.ndim for ax in axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, a.shape).copy(),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g = np.asarray(g)
+            if axis is None:
+                expanded = np.broadcast_to(out_data, a.shape)
+                gexp = np.broadcast_to(g, a.shape)
+            else:
+                ref = a.data.max(axis=axis, keepdims=True)
+                expanded = np.broadcast_to(ref, a.shape)
+                gk = g if keepdims else np.expand_dims(g, axis)
+                gexp = np.broadcast_to(gk, a.shape)
+            mask = (a.data == expanded)
+            # Split gradient across ties, matching subgradient convention.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            return (gexp * mask / counts,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # -- shape manipulation ----------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        out_data = a.data.reshape(shape)
+        return Tensor._make(out_data, (a,),
+                            lambda g: (g.reshape(a.shape),))
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        a = self
+        if not axes:
+            axes = tuple(reversed(range(a.ndim)))
+        inverse = tuple(np.argsort(axes))
+        out_data = a.data.transpose(axes)
+        return Tensor._make(out_data, (a,),
+                            lambda g: (g.transpose(inverse),))
+
+    def swapaxes(self, ax1: int, ax2: int) -> "Tensor":
+        a = self
+        out_data = a.data.swapaxes(ax1, ax2)
+        return Tensor._make(out_data, (a,), lambda g: (g.swapaxes(ax1, ax2),))
+
+    def __getitem__(self, key) -> "Tensor":
+        a = self
+        out_data = a.data[key]
+
+        def backward(g):
+            full = np.zeros_like(a.data)
+            np.add.at(full, key, g)
+            return (full,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def l2_normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
+        """Return the tensor scaled to unit L2 norm along ``axis``."""
+        norm = (self * self).sum(axis=axis, keepdims=True)
+        return self * ((norm + eps) ** -0.5)
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered by :class:`repro.nn.Module`."""
+
+    __slots__ = ()
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` (Tensor, ndarray or scalar) to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        pieces = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        slicer = [slice(None)] * g.ndim
+        outs = []
+        for i in range(len(tensors)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            outs.append(g[tuple(slicer)])
+        return tuple(outs)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Differentiable ``np.where`` with a constant condition mask."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        ga = _unbroadcast(g * cond, a.shape)
+        gb = _unbroadcast(g * (~cond), b.shape)
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), backward)

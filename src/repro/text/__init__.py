@@ -1,0 +1,8 @@
+"""``repro.text`` — tokenizer and text item encoder (RoBERTa stand-in)."""
+
+from .encoder import MiniRoBERTa, TextEncoderConfig
+from .pretrain import pretrained_text_encoder
+from .tokenizer import Tokenizer
+
+__all__ = ["MiniRoBERTa", "TextEncoderConfig", "Tokenizer",
+           "pretrained_text_encoder"]

@@ -1,0 +1,88 @@
+"""The text item encoder (stand-in for multilingual RoBERTa, Eq. 1).
+
+A bidirectional Transformer over the synthetic vocabulary. Its CLS output
+is the text-modality feature embedding ``t_cls`` used by the contrastive
+alignment objectives; the per-token hidden states feed the multi-modal
+fusion block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import init as nn_init
+from ..data.catalog import TEXT_PAD
+from .tokenizer import Tokenizer
+
+__all__ = ["TextEncoderConfig", "MiniRoBERTa"]
+
+
+@dataclass(frozen=True)
+class TextEncoderConfig:
+    """Architecture hyper-parameters of the text encoder."""
+
+    vocab_size: int
+    dim: int = 32
+    num_blocks: int = 2
+    num_heads: int = 4
+    max_len: int = 16           # tokens incl. CLS
+    dropout: float = 0.1
+
+
+class MiniRoBERTa(nn.Module):
+    """Bidirectional Transformer text encoder with CLS pooling.
+
+    ``forward`` returns ``(cls, hidden, mask)`` where ``cls`` is
+    ``(B, d)``, ``hidden`` is ``(B, T+1, d)`` including the CLS position,
+    and ``mask`` is the boolean validity mask aligned with ``hidden``.
+    """
+
+    def __init__(self, config: TextEncoderConfig,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = nn_init.default_rng(rng)
+        self.config = config
+        self.token_emb = nn.Embedding(config.vocab_size, config.dim,
+                                      padding_idx=TEXT_PAD, rng=rng)
+        self.pos_emb = nn.Embedding(config.max_len, config.dim, rng=rng)
+        self.norm = nn.LayerNorm(config.dim)
+        self.drop = nn.Dropout(config.dropout)
+        self.blocks = nn.ModuleList([
+            nn.TransformerBlock(config.dim, config.num_heads,
+                                dropout=config.dropout, rng=rng)
+            for _ in range(config.num_blocks)])
+        self.final_norm = nn.LayerNorm(config.dim)
+
+    def forward(self, token_ids: np.ndarray):
+        tokens = Tokenizer.with_cls(np.asarray(token_ids))
+        if tokens.shape[1] > self.config.max_len:
+            tokens = tokens[:, :self.config.max_len]
+        valid = Tokenizer.attention_mask(tokens)
+        positions = np.broadcast_to(np.arange(tokens.shape[1]), tokens.shape)
+        x = self.token_emb(tokens) + self.pos_emb(positions)
+        x = self.drop(self.norm(x))
+        attn_mask = nn.padding_mask(valid)
+        for block in self.blocks:
+            x = block(x, mask=attn_mask)
+        x = self.final_norm(x)
+        cls = x[:, 0, :]
+        return cls, x, valid
+
+    def set_finetune_depth(self, top_blocks: int) -> None:
+        """Freeze everything except the top ``top_blocks`` Transformer blocks.
+
+        Matches the paper's resource-saving choice of fine-tuning only the
+        top 2 blocks of each pre-trained item encoder. The final norm stays
+        trainable alongside the unfrozen blocks.
+        """
+        for param in self.parameters():
+            param.requires_grad = False
+        keep = list(self.blocks)[len(self.blocks) - top_blocks:]
+        for block in keep:
+            for param in block.parameters():
+                param.requires_grad = True
+        for param in self.final_norm.parameters():
+            param.requires_grad = True

@@ -1,0 +1,53 @@
+"""Deterministic "pre-training" of the text encoder.
+
+The paper initializes its text encoder from multilingual RoBERTa, whose
+value is that token embeddings already carry distributional semantics.
+With no network access we synthesize the same property directly: content
+tokens get embeddings that are a fixed random projection of their *world
+latents* plus noise, so the encoder output is informative about item
+semantics **but lives in its own coordinate system**, distinct from the
+vision encoder's. Cross-modal alignment (the NICL objective) therefore has
+exactly the job it has in the paper.
+
+Style and tag tokens get free random embeddings: their meaning must be
+learned from recommendation data, as it would be in reality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.catalog import TEXT_OFFSET, text_vocab_size
+from ..data.world import LatentWorld
+from .encoder import MiniRoBERTa, TextEncoderConfig
+
+__all__ = ["pretrained_text_encoder"]
+
+
+def pretrained_text_encoder(world: LatentWorld, dim: int = 32,
+                            num_blocks: int = 2, num_heads: int = 4,
+                            seed: int = 11,
+                            dropout: float = 0.1) -> MiniRoBERTa:
+    """Build a MiniRoBERTa whose token embeddings encode world semantics.
+
+    The projection ``semantic_dim -> dim`` is drawn once from ``seed``; two
+    encoders built with the same seed are identical, mimicking loading the
+    same public checkpoint twice.
+    """
+    config = TextEncoderConfig(vocab_size=text_vocab_size(), dim=dim,
+                               num_blocks=num_blocks, num_heads=num_heads,
+                               dropout=dropout)
+    rng = np.random.default_rng(seed)
+    encoder = MiniRoBERTa(config, rng=rng)
+
+    k = world.config.semantic_dim
+    projection = rng.normal(size=(k, dim)) / np.sqrt(k)
+    table = encoder.token_emb.weight.data
+    content = world.token_latents @ projection          # (vocab, dim)
+    content = content + 0.08 * rng.normal(size=content.shape)
+    end = TEXT_OFFSET + world.config.vocab_size
+    table[TEXT_OFFSET:end] = content
+    # CLS starts near zero so pooling is dominated by content early on.
+    table[1] = 0.02 * rng.normal(size=dim)
+    encoder.token_emb.weight.data = table
+    return encoder

@@ -1,0 +1,71 @@
+"""Tokenizer façade over the synthetic vocabulary.
+
+Item text in the data substrate is already a sequence of integer token ids
+(the world renders text directly into id space). This module provides the
+pieces a real pipeline would have around that: special-token handling (PAD
+/ CLS), attention-mask construction, and a human-readable vocabulary for
+examples, debugging and round-trip tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.catalog import TEXT_CLS, TEXT_OFFSET, TEXT_PAD, text_vocab_size
+from ..data.platforms import PLATFORMS
+from ..data.world import TOPICS, WorldConfig
+
+__all__ = ["Tokenizer", "TEXT_PAD", "TEXT_CLS"]
+
+
+class Tokenizer:
+    """Maps between token-id arrays and synthetic word strings.
+
+    The id layout matches :mod:`repro.data.catalog`:
+    ``0`` PAD, ``1`` CLS, then content words, per-platform style tokens and
+    category tag tokens.
+    """
+
+    def __init__(self, world_config: WorldConfig | None = None):
+        cfg = world_config or WorldConfig()
+        self._content_end = TEXT_OFFSET + cfg.vocab_size
+        self._style_end = self._content_end + 8 * len(PLATFORMS)
+        self.vocab_size = text_vocab_size()
+        self._words: dict[int, str] = {TEXT_PAD: "<pad>", TEXT_CLS: "<cls>"}
+        for token in range(TEXT_OFFSET, self._content_end):
+            self._words[token] = f"w{token - TEXT_OFFSET}"
+        platform_names = list(PLATFORMS)
+        for token in range(self._content_end, self._style_end):
+            local = token - self._content_end
+            self._words[token] = f"style:{platform_names[local // 8]}:{local % 8}"
+        for token in range(self._style_end, self.vocab_size):
+            self._words[token] = f"tag:{TOPICS[token - self._style_end]}"
+        self._ids = {word: token for token, word in self._words.items()}
+
+    # -- id <-> word -------------------------------------------------------------
+
+    def decode(self, token_ids: np.ndarray) -> list[str]:
+        """Token ids to word strings, dropping padding."""
+        return [self._words[int(t)] for t in np.asarray(token_ids).reshape(-1)
+                if int(t) != TEXT_PAD]
+
+    def encode(self, words: list[str], max_len: int | None = None) -> np.ndarray:
+        """Word strings to a (optionally padded) id array."""
+        ids = [self._ids[w] for w in words]
+        if max_len is not None:
+            ids = ids[:max_len] + [TEXT_PAD] * max(max_len - len(ids), 0)
+        return np.asarray(ids, dtype=np.int64)
+
+    # -- model inputs ------------------------------------------------------------------
+
+    @staticmethod
+    def with_cls(token_ids: np.ndarray) -> np.ndarray:
+        """Prepend the CLS token to each row of a ``(B, T)`` id matrix."""
+        token_ids = np.asarray(token_ids)
+        cls_col = np.full((token_ids.shape[0], 1), TEXT_CLS, dtype=np.int64)
+        return np.concatenate([cls_col, token_ids], axis=1)
+
+    @staticmethod
+    def attention_mask(token_ids_with_cls: np.ndarray) -> np.ndarray:
+        """Validity mask (True = real token) for an id matrix."""
+        return token_ids_with_cls != TEXT_PAD

@@ -1,0 +1,5 @@
+"""``repro.train`` — model-agnostic training loop with early stopping."""
+
+from .trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = ["TrainConfig", "Trainer", "TrainResult"]

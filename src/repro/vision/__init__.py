@@ -1,0 +1,8 @@
+"""``repro.vision`` — patchify + ViT item encoder (CLIP-ViT stand-in)."""
+
+from .encoder import MiniViT, VisionEncoderConfig
+from .patches import num_patches, patch_dim, patchify
+from .pretrain import pretrained_vision_encoder
+
+__all__ = ["MiniViT", "VisionEncoderConfig", "patchify", "num_patches",
+           "patch_dim", "pretrained_vision_encoder"]

@@ -1,0 +1,88 @@
+"""The vision item encoder (stand-in for CLIP-ViT, Eq. 2).
+
+A Vision Transformer: images are split into fixed-size patches, each patch
+is linearly projected, a CLS token is prepended, and Transformer blocks
+mix them. The CLS output is the vision-modality feature embedding
+``v_cls``; per-patch hiddens feed the fusion block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import init as nn_init
+from ..nn.tensor import Tensor, concat
+from .patches import num_patches, patch_dim, patchify
+
+__all__ = ["VisionEncoderConfig", "MiniViT"]
+
+
+@dataclass(frozen=True)
+class VisionEncoderConfig:
+    """Architecture hyper-parameters of the vision encoder."""
+
+    image_size: int = 16
+    patch_size: int = 4
+    dim: int = 32
+    num_blocks: int = 2
+    num_heads: int = 4
+    dropout: float = 0.1
+
+    @property
+    def patches(self) -> int:
+        return num_patches(self.image_size, self.patch_size)
+
+
+class MiniViT(nn.Module):
+    """ViT over synthetic item images with CLS pooling.
+
+    ``forward`` returns ``(cls, hidden)`` with ``cls`` of shape ``(B, d)``
+    and ``hidden`` of shape ``(B, P+1, d)`` including the CLS position.
+    Images have no padding, so no mask is needed.
+    """
+
+    def __init__(self, config: VisionEncoderConfig,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = nn_init.default_rng(rng)
+        self.config = config
+        self.patch_proj = nn.Linear(patch_dim(config.patch_size), config.dim,
+                                    rng=rng)
+        self.cls_token = nn.Parameter(0.02 * rng.normal(size=(1, 1, config.dim)))
+        self.pos_emb = nn.Embedding(config.patches + 1, config.dim, rng=rng)
+        self.norm = nn.LayerNorm(config.dim)
+        self.drop = nn.Dropout(config.dropout)
+        self.blocks = nn.ModuleList([
+            nn.TransformerBlock(config.dim, config.num_heads,
+                                dropout=config.dropout, rng=rng)
+            for _ in range(config.num_blocks)])
+        self.final_norm = nn.LayerNorm(config.dim)
+
+    def forward(self, images: np.ndarray):
+        patches = patchify(np.asarray(images), self.config.patch_size)
+        batch = patches.shape[0]
+        x = self.patch_proj(Tensor(patches))
+        cls = self.cls_token + Tensor(np.zeros((batch, 1, self.config.dim)))
+        x = concat([cls, x], axis=1)
+        positions = np.broadcast_to(np.arange(x.shape[1]),
+                                    (batch, x.shape[1]))
+        x = x + self.pos_emb(positions)
+        x = self.drop(self.norm(x))
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return x[:, 0, :], x
+
+    def set_finetune_depth(self, top_blocks: int) -> None:
+        """Freeze all but the top ``top_blocks`` blocks (paper Sec. IV-A3)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        keep = list(self.blocks)[len(self.blocks) - top_blocks:]
+        for block in keep:
+            for param in block.parameters():
+                param.requires_grad = True
+        for param in self.final_norm.parameters():
+            param.requires_grad = True

@@ -1,0 +1,41 @@
+"""Image patchification for the ViT vision encoder (Eq. 2).
+
+Splits a ``(B, S, S, 3)`` image batch into non-overlapping square patches
+flattened to vectors, exactly the "image is worth 16x16 words" front-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["patchify", "num_patches", "patch_dim"]
+
+
+def num_patches(image_size: int, patch_size: int) -> int:
+    """How many patches a square image yields."""
+    if image_size % patch_size != 0:
+        raise ValueError(f"image_size {image_size} not divisible by "
+                         f"patch_size {patch_size}")
+    per_side = image_size // patch_size
+    return per_side * per_side
+
+
+def patch_dim(patch_size: int, channels: int = 3) -> int:
+    """Flattened dimensionality of one patch."""
+    return patch_size * patch_size * channels
+
+
+def patchify(images: np.ndarray, patch_size: int) -> np.ndarray:
+    """``(B, S, S, C)`` images to ``(B, P, patch_size*patch_size*C)``."""
+    images = np.asarray(images)
+    batch, size, size2, channels = images.shape
+    if size != size2:
+        raise ValueError("images must be square")
+    if size % patch_size != 0:
+        raise ValueError(f"image size {size} not divisible by {patch_size}")
+    per_side = size // patch_size
+    x = images.reshape(batch, per_side, patch_size, per_side, patch_size,
+                       channels)
+    x = x.transpose(0, 1, 3, 2, 4, 5)
+    return x.reshape(batch, per_side * per_side,
+                     patch_size * patch_size * channels)

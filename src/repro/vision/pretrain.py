@@ -1,0 +1,63 @@
+"""Deterministic "pre-training" of the vision encoder.
+
+CLIP-ViT's value to the paper is that patch features already carry visual
+semantics. We synthesize that property: the world renders images as
+``tanh(latent @ pixel_decoder) + clutter``, so for each patch we derive a
+linear map that approximately inverts the decoder (least-squares
+pseudo-inverse of the patch's slice) followed by a fixed random projection
+into the encoder's own coordinate system — informative about the item
+latent, aligned with nothing else. Clutter robustness and cross-modal
+alignment must still be *learned*, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.world import LatentWorld
+from .encoder import MiniViT, VisionEncoderConfig
+from .patches import patch_dim
+
+__all__ = ["pretrained_vision_encoder"]
+
+
+def pretrained_vision_encoder(world: LatentWorld, dim: int = 32,
+                              num_blocks: int = 2, num_heads: int = 4,
+                              patch_size: int = 4, seed: int = 23,
+                              dropout: float = 0.1) -> MiniViT:
+    """Build a MiniViT whose patch projection decodes world pixel semantics.
+
+    Deterministic in ``seed`` — building twice yields identical weights,
+    like loading one public CLIP checkpoint twice.
+    """
+    size = world.config.image_size
+    config = VisionEncoderConfig(image_size=size, patch_size=patch_size,
+                                 dim=dim, num_blocks=num_blocks,
+                                 num_heads=num_heads, dropout=dropout)
+    rng = np.random.default_rng(seed)
+    encoder = MiniViT(config, rng=rng)
+
+    k = world.config.semantic_dim
+    per_side = size // patch_size
+    pdim = patch_dim(patch_size)
+    vision_basis = rng.normal(size=(k, dim)) / np.sqrt(k)
+
+    # pixel_decoder maps latent -> flat pixels (k, S*S*3); cut out the
+    # pixel columns belonging to each patch and pseudo-invert.
+    decoder = world.pixel_decoder.reshape(k, size, size, 3)
+    weight = encoder.patch_proj.weight.data
+    row = 0
+    for py in range(per_side):
+        for px in range(per_side):
+            block = decoder[:, py * patch_size:(py + 1) * patch_size,
+                            px * patch_size:(px + 1) * patch_size, :]
+            block = block.reshape(k, pdim)                  # latent -> patch
+            inverse = np.linalg.pinv(block)                 # patch -> latent
+            # All patches share one projection matrix, so average the
+            # per-patch inversions into it (keeps the layer patch-agnostic,
+            # like a conv stem).
+            weight += (inverse @ vision_basis) / (per_side * per_side)
+            row += 1
+    weight *= 0.5   # damp: pre-training is a head start, not an oracle
+    encoder.patch_proj.weight.data = weight
+    return encoder

@@ -1,0 +1,74 @@
+"""Cross-modal alignment diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import (alignment_score, anisotropy, modality_gap,
+                            uniformity)
+
+
+def test_alignment_score_perfect_match(rng):
+    feats = rng.normal(size=(10, 8))
+    out = alignment_score(feats, feats)
+    assert out["matched"] == pytest.approx(1.0)
+    assert out["margin"] > 0.5
+
+
+def test_alignment_score_random_pairs(rng):
+    t = rng.normal(size=(50, 16))
+    v = rng.normal(size=(50, 16))
+    out = alignment_score(t, v)
+    assert abs(out["matched"]) < 0.35
+    assert abs(out["margin"]) < 0.35
+
+
+def test_alignment_score_scale_invariant(rng):
+    t = rng.normal(size=(10, 8))
+    v = rng.normal(size=(10, 8))
+    a = alignment_score(t, v)
+    b = alignment_score(10.0 * t, 0.1 * v)
+    assert a["matched"] == pytest.approx(b["matched"])
+
+
+def test_modality_gap_zero_for_same_cloud(rng):
+    feats = rng.normal(size=(30, 8))
+    assert modality_gap(feats, feats) == pytest.approx(0.0)
+
+
+def test_modality_gap_detects_offset(rng):
+    t = rng.normal(size=(30, 8))
+    v = rng.normal(size=(30, 8)) + 5.0     # shifted cone
+    assert modality_gap(t, v) > modality_gap(t, t + 0.01)
+
+
+def test_anisotropy_extremes(rng):
+    line = np.outer(rng.normal(size=40), rng.normal(size=8))
+    assert anisotropy(line) > 0.99
+    iso = rng.normal(size=(500, 8))
+    assert anisotropy(iso) < 0.3
+
+
+def test_anisotropy_constant_features():
+    assert anisotropy(np.ones((10, 4))) == 0.0
+
+
+def test_uniformity_orders_spread(rng):
+    spread = rng.normal(size=(60, 8))
+    clumped = rng.normal(size=(60, 8)) * 0.01 + np.ones(8)
+    assert uniformity(spread) < uniformity(clumped)
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, (6, 4),
+                  elements=st.floats(-3, 3, allow_nan=False)))
+def test_alignment_score_bounded(feats):
+    # Guard against zero rows which normalize to zero vectors.
+    feats = feats + 0.1
+    out = alignment_score(feats, feats[::-1].copy())
+    for value in out.values():
+        assert -2.0 <= value <= 2.0

@@ -1,0 +1,79 @@
+"""RSA / probe diagnostics and popularity-bias measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (coverage_at_k, item_frequencies, latent_probe_r2,
+                            mean_recommended_popularity,
+                            popularity_correlation, rsa_correlation)
+
+
+def test_rsa_correlation_identity(rng):
+    feats = rng.normal(size=(30, 8))
+    assert rsa_correlation(feats, feats) == pytest.approx(1.0)
+
+
+def test_rsa_correlation_rotation_invariant(rng):
+    feats = rng.normal(size=(30, 8))
+    q, _ = np.linalg.qr(rng.normal(size=(8, 8)))
+    assert rsa_correlation(feats, feats @ q) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_rsa_correlation_unrelated(rng):
+    a = rng.normal(size=(40, 8))
+    b = rng.normal(size=(40, 8))
+    assert abs(rsa_correlation(a, b)) < 0.3
+
+
+def test_rsa_degenerate_returns_zero():
+    const = np.ones((10, 4))
+    assert rsa_correlation(const, const) == 0.0
+
+
+def test_latent_probe_recovers_linear_map(rng):
+    latents = rng.normal(size=(80, 6))
+    mix = rng.normal(size=(6, 12))
+    feats = latents @ mix + 0.01 * rng.normal(size=(80, 12))
+    assert latent_probe_r2(feats, latents) > 0.95
+
+
+def test_latent_probe_fails_on_noise(rng):
+    feats = rng.normal(size=(200, 12))
+    latents = rng.normal(size=(200, 6))
+    assert latent_probe_r2(feats, latents) < 0.35
+
+
+def test_item_frequencies():
+    seqs = [np.array([1, 1, 2]), np.array([2, 3])]
+    freq = item_frequencies(seqs, num_items=3)
+    np.testing.assert_array_equal(freq, [0, 2, 2, 1])
+
+
+def test_popularity_correlation_popularity_ranker():
+    freq = np.array([0.0, 1, 5, 10, 50])
+    scores = np.tile(freq, (7, 1))         # model scores = popularity
+    assert popularity_correlation(scores, freq) == pytest.approx(1.0)
+
+
+def test_popularity_correlation_zero_variance():
+    scores = np.ones((5, 6))
+    freq = np.arange(6.0)
+    assert popularity_correlation(scores, freq) == 0.0
+
+
+def test_coverage_at_k_extremes(rng):
+    # Every user gets identical top-k -> coverage = k / num_items.
+    scores = np.tile(np.arange(21.0), (10, 1))
+    assert coverage_at_k(scores, k=10) == pytest.approx(0.5)
+    # Personalized scores -> higher coverage.
+    assert coverage_at_k(rng.normal(size=(50, 21)), k=10) > 0.8
+
+
+def test_mean_recommended_popularity(rng):
+    freq = np.concatenate([[0], np.arange(20.0)])
+    pop_scores = np.tile(freq, (6, 1))
+    anti = np.tile(-freq, (6, 1))
+    assert mean_recommended_popularity(pop_scores, freq, k=5) > 0.8
+    assert mean_recommended_popularity(anti, freq, k=5) < 0.2

@@ -1,0 +1,164 @@
+"""The eight baseline recommenders: shared protocol and specifics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BASELINE_NAMES, TRANSFERABLE_BASELINES,
+                             CARCAPlusPlus, GRURec, MoEAdaptor,
+                             MoRecPlusPlus, ProductQuantizer, SASRec, UniSRec,
+                             VQRec, frozen_text_features,
+                             frozen_vision_features, kmeans, make_baseline)
+from repro.data import build_dataset, pad_sequences
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("kwai_food", profile="smoke")
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    return pad_sequences(dataset.split.train[:6], max_len=12)
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES)
+def test_baseline_protocol(name, dataset, batch):
+    """Every baseline trains, backprops and scores the full catalogue."""
+    model = make_baseline(name, dataset, seed=0)
+    loss, metrics = model.training_loss(dataset, batch.item_ids, batch.mask)
+    assert np.isfinite(metrics["total"])
+    loss.backward()
+    grads = [p for p in model.parameters()
+             if p.requires_grad and p.grad is not None]
+    assert grads, f"{name} produced no gradients"
+    scores = model.score_histories(
+        dataset, [ex.history for ex in dataset.split.test[:3]])
+    assert scores.shape == (3, dataset.num_items + 1)
+    assert np.isfinite(scores).all()
+
+
+def test_make_baseline_unknown():
+    ds = build_dataset("kwai_food", profile="smoke")
+    with pytest.raises(KeyError):
+        make_baseline("two-tower", ds)
+
+
+def test_id_models_embed_catalogue_size(dataset):
+    model = GRURec(dataset.num_items, dim=16)
+    assert model.item_emb.num_embeddings == dataset.num_items + 1
+
+
+def test_transferable_models_share_weights_across_datasets(dataset):
+    """A transferable model must run on a *different* dataset unchanged."""
+    other = build_dataset("hm_shoes", profile="smoke")
+    for name in TRANSFERABLE_BASELINES:
+        model = make_baseline(name, dataset, seed=0)
+        if name == "vqrec":
+            model.fit_codebooks(dataset)
+        scores = model.score_histories(
+            other, [ex.history for ex in other.split.test[:2]])
+        assert scores.shape == (2, other.num_items + 1)
+
+
+def test_sasrec_is_causal(dataset):
+    model = SASRec(dataset.num_items, dim=16, seed=0)
+    model.eval()
+    reps = Tensor(np.random.default_rng(0).normal(size=(1, 5, 16)))
+    mask = np.ones((1, 5), dtype=bool)
+    base = model.sequence_hidden(reps, mask).data.copy()
+    perturbed = reps.data.copy()
+    perturbed[0, 4] += 10.0
+    out = model.sequence_hidden(Tensor(perturbed), mask).data
+    np.testing.assert_allclose(out[0, :4], base[0, :4], atol=1e-9)
+
+
+def test_frozen_features_cached_and_shaped(dataset):
+    a = frozen_text_features(dataset, dim=32)
+    b = frozen_text_features(dataset, dim=32)
+    assert a is b
+    assert a.shape == (dataset.num_items + 1, 32)
+    np.testing.assert_array_equal(a[0], 0.0)
+    v = frozen_vision_features(dataset, dim=32)
+    assert v.shape == (dataset.num_items + 1, 32)
+
+
+def test_frozen_text_features_are_anisotropic(dataset):
+    """The deliberate anisotropy: one direction dominates the spectrum."""
+    feats = frozen_text_features(dataset, dim=32)[1:]
+    centered = feats - feats.mean(axis=0)
+    singular = np.linalg.svd(feats, compute_uv=False)
+    assert singular[0] > 3.0 * np.linalg.svd(centered,
+                                             compute_uv=False)[1]
+
+
+def test_moe_adaptor_mixes_experts(rng):
+    adaptor = MoEAdaptor(8, num_experts=3)
+    out = adaptor(Tensor(rng.normal(size=(5, 8))))
+    assert out.shape == (5, 8)
+
+
+def test_kmeans_clusters_separated_data():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(40, 4)) + 10.0
+    b = rng.normal(size=(40, 4)) - 10.0
+    cents = kmeans(np.concatenate([a, b]), 2, rng)
+    assert cents.shape == (2, 4)
+    signs = sorted(np.sign(cents[:, 0]))
+    assert signs == [-1.0, 1.0]
+
+
+def test_kmeans_handles_fewer_points_than_clusters():
+    rng = np.random.default_rng(0)
+    cents = kmeans(rng.normal(size=(3, 4)), 8, rng)
+    assert cents.shape == (8, 4)
+
+
+def test_product_quantizer_roundtrip(rng):
+    pq = ProductQuantizer(dim=8, num_groups=2, codes_per_group=4)
+    data = rng.normal(size=(60, 8))
+    pq.fit(data)
+    codes = pq.encode(data)
+    assert codes.shape == (60, 2)
+    assert codes.min() >= 0 and codes.max() < 4
+
+
+def test_product_quantizer_validates_dims():
+    with pytest.raises(ValueError):
+        ProductQuantizer(dim=10, num_groups=3)
+
+
+def test_product_quantizer_requires_fit(rng):
+    pq = ProductQuantizer(dim=8, num_groups=2)
+    with pytest.raises(RuntimeError):
+        pq.encode(rng.normal(size=(5, 8)))
+
+
+def test_vqrec_codebooks_travel_with_state(dataset):
+    source = VQRec(dim=32, seed=0)
+    source.fit_codebooks(dataset)
+    state = source.state_dict()
+    target = VQRec(dim=32, seed=1)
+    target.load_state_dict(state)
+    # Target must quantize with the *source* codebooks, not refit.
+    np.testing.assert_array_equal(target.codebooks.data,
+                                  source.codebooks.data)
+    other = build_dataset("hm_shoes", profile="smoke")
+    scores = target.score_histories(
+        other, [ex.history for ex in other.split.test[:2]])
+    assert np.isfinite(scores).all()
+
+
+def test_morec_finetunes_top_blocks_only():
+    model = MoRecPlusPlus(dim=32, finetune_top_blocks=1)
+    bottom = list(model.text_encoder.blocks)[0]
+    assert all(not p.requires_grad for p in bottom.parameters())
+    assert all(p.requires_grad for p in model.encoder.parameters())
+
+
+def test_carca_uses_both_feature_tables(dataset, batch):
+    model = CARCAPlusPlus(dataset.num_items, dim=32, seed=0)
+    reps = model.item_representations(dataset, np.array([1, 2, 3]))
+    assert reps.shape == (3, 32)

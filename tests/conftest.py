@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_grad(build_loss, x0: np.ndarray, atol: float = 1e-5,
+               rtol: float = 1e-4) -> None:
+    """Assert autograd gradient of ``build_loss`` matches finite differences.
+
+    ``build_loss(tensor) -> Tensor`` must return a scalar loss built from a
+    leaf tensor wrapping ``x0``.
+    """
+    leaf = nn.Tensor(x0.copy(), requires_grad=True)
+    loss = build_loss(leaf)
+    loss.backward()
+    analytic = leaf.grad
+
+    def scalar_fn(arr):
+        with nn.no_grad():
+            return float(build_loss(nn.Tensor(arr)).data)
+
+    numeric = numeric_grad(scalar_fn, x0.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,99 @@
+"""Sequence corruption for NID / RCL (paper Sec. III-D1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (LABEL_REPLACED, LABEL_SHUFFLED, LABEL_UNCHANGED,
+                        corrupt_batch)
+
+
+def _batch(rng, batch=6, length=20):
+    ids = rng.integers(1, 50, size=(batch, length))
+    mask = np.ones((batch, length), dtype=bool)
+    return ids, mask
+
+
+def test_corruption_preserves_shape_and_padding(rng):
+    ids = np.array([[1, 2, 3, 0, 0]])
+    mask = np.array([[True, True, True, False, False]])
+    out = corrupt_batch(ids, mask, rng)
+    assert out.item_ids.shape == ids.shape
+    np.testing.assert_array_equal(out.item_ids[0, 3:], 0)
+    np.testing.assert_array_equal(out.labels[0, 3:], LABEL_UNCHANGED)
+
+
+def test_corruption_rates_approximate_paper(rng):
+    ids, mask = _batch(rng, batch=60, length=30)
+    out = corrupt_batch(ids, mask, rng, shuffle_frac=0.15, replace_frac=0.05)
+    shuffled = (out.labels == LABEL_SHUFFLED).mean()
+    replaced = (out.labels == LABEL_REPLACED).mean()
+    # Self-shuffles / self-replacements are relabelled unchanged, so the
+    # observed rates sit slightly below the nominal ones.
+    assert 0.05 < shuffled <= 0.16
+    assert 0.005 < replaced <= 0.07
+
+
+def test_shuffle_preserves_item_multiset(rng):
+    ids, mask = _batch(rng, batch=10, length=25)
+    out = corrupt_batch(ids, mask, rng, shuffle_frac=0.3, replace_frac=0.0)
+    for row in range(10):
+        np.testing.assert_array_equal(np.sort(ids[row]),
+                                      np.sort(out.item_ids[row]))
+
+
+def test_replaced_positions_get_batch_items(rng):
+    ids, mask = _batch(rng, batch=5, length=20)
+    pool = set(ids[mask].tolist())
+    out = corrupt_batch(ids, mask, rng, shuffle_frac=0.0, replace_frac=0.3)
+    replaced = out.item_ids[out.labels == LABEL_REPLACED]
+    assert set(replaced.tolist()) <= pool
+
+
+def test_labels_only_where_changed(rng):
+    ids, mask = _batch(rng)
+    out = corrupt_batch(ids, mask, rng)
+    changed = out.item_ids != ids
+    # Every changed position is labelled, every labelled position changed
+    # (shuffles moving an equal item are relabelled unchanged).
+    labelled = out.labels != LABEL_UNCHANGED
+    shuffled_same = (out.labels == LABEL_SHUFFLED) & ~changed
+    assert not shuffled_same.any()
+    assert (changed == labelled).all() or (changed & ~labelled).sum() == 0
+
+
+def test_degenerate_sequences_untouched(rng):
+    ids = np.array([[7, 0, 0]])
+    mask = np.array([[True, False, False]])
+    out = corrupt_batch(ids, mask, rng)
+    np.testing.assert_array_equal(out.item_ids, ids)
+
+
+def test_zero_rates_are_identity(rng):
+    ids, mask = _batch(rng)
+    out = corrupt_batch(ids, mask, rng, shuffle_frac=0.0, replace_frac=0.0)
+    np.testing.assert_array_equal(out.item_ids, ids)
+    assert (out.labels == LABEL_UNCHANGED).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_corruption_invariants_hypothesis(seed):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 15, size=4)
+    length = 15
+    ids = np.zeros((4, length), dtype=np.int64)
+    mask = np.zeros((4, length), dtype=bool)
+    for row, n in enumerate(lengths):
+        ids[row, :n] = rng.integers(1, 30, size=n)
+        mask[row, :n] = True
+    out = corrupt_batch(ids, mask, rng)
+    # Padding is never altered; labels stay within the 3 classes.
+    assert (out.item_ids[~mask] == 0).all()
+    assert set(np.unique(out.labels)) <= {LABEL_UNCHANGED, LABEL_SHUFFLED,
+                                          LABEL_REPLACED}
+    # Corrupted ids always come from the batch's real items.
+    assert set(out.item_ids[mask].tolist()) <= set(ids[mask].tolist())

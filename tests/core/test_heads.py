@@ -1,0 +1,71 @@
+"""Rating / behaviour heads (the paper's future-work extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heads import BehaviorHead, RatingHead, pair_features
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+def test_pair_features_shape(rng):
+    u = Tensor(rng.normal(size=(4, 8)))
+    i = Tensor(rng.normal(size=(4, 8)))
+    assert pair_features(u, i).shape == (4, 24)
+
+
+def test_rating_head_range(rng):
+    head = RatingHead(8, low=1.0, high=5.0)
+    u = Tensor(rng.normal(size=(16, 8)) * 10)
+    i = Tensor(rng.normal(size=(16, 8)) * 10)
+    out = head(u, i).data
+    assert out.shape == (16,)
+    assert (out >= 1.0).all() and (out <= 5.0).all()
+
+
+def test_rating_head_learns_simple_signal(rng):
+    """The head must fit ratings driven by user-item dot products."""
+    head = RatingHead(6, hidden=16)
+    users = rng.normal(size=(64, 6))
+    items = rng.normal(size=(64, 6))
+    signal = (users * items).sum(axis=1)
+    ratings = 3.0 + 2.0 * np.tanh(signal)
+    opt = Adam(list(head.parameters()), lr=0.01)
+    first = None
+    for step in range(150):
+        opt.zero_grad()
+        loss = head.loss(Tensor(users), Tensor(items), ratings)
+        if first is None:
+            first = loss.item()
+        loss.backward()
+        opt.step()
+    assert loss.item() < 0.5 * first
+
+
+def test_behavior_head_shapes_and_loss(rng):
+    head = BehaviorHead(8, num_behaviors=3)
+    u = Tensor(rng.normal(size=(10, 8)))
+    i = Tensor(rng.normal(size=(10, 8)))
+    logits = head(u, i)
+    assert logits.shape == (10, 3)
+    labels = rng.integers(0, 3, size=10)
+    loss = head.loss(u, i, labels)
+    assert np.isfinite(loss.item())
+
+
+def test_behavior_head_learns_separable_labels(rng):
+    head = BehaviorHead(4, num_behaviors=2)
+    users = rng.normal(size=(40, 4))
+    items = rng.normal(size=(40, 4))
+    labels = ((users * items).sum(axis=1) > 0).astype(int)
+    opt = Adam(list(head.parameters()), lr=0.05)
+    for _ in range(100):
+        opt.zero_grad()
+        loss = head.loss(Tensor(users), Tensor(items), labels)
+        loss.backward()
+        opt.step()
+    logits = head(Tensor(users), Tensor(items)).data
+    accuracy = (logits.argmax(axis=1) == labels).mean()
+    assert accuracy > 0.85

@@ -1,0 +1,224 @@
+"""PMMRec objectives: DAP, NICL family, NID, RCL (paper Eq. 5-12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.losses import (alignment_loss, batch_structure, dap_loss,
+                               masked_mean_pool, nid_loss, rcl_loss)
+from repro.nn.modules import Linear
+from repro.nn.tensor import Tensor
+
+from ..conftest import check_grad
+
+
+@pytest.fixture
+def small_batch():
+    # Two users, one shared item (3), padding on the second row.
+    item_ids = np.array([[1, 2, 3, 4], [3, 5, 6, 0]])
+    mask = np.array([[True] * 4, [True, True, True, False]])
+    return item_ids, mask
+
+
+def test_batch_structure(small_batch):
+    item_ids, mask = small_batch
+    unique_ids, inverse, owner = batch_structure(item_ids, mask)
+    np.testing.assert_array_equal(unique_ids, [1, 2, 3, 4, 5, 6])
+    assert inverse[0, 2] == inverse[1, 0]        # shared item 3
+    assert owner.shape == (2, 6)
+    assert owner[0, 2] and owner[1, 2]           # both users own item 3
+    assert owner[0, 0] and not owner[1, 0]       # item 1 only user 0
+    # Padding position contributes nothing.
+    assert owner[1].sum() == 3
+
+
+def test_dap_loss_value_matches_manual(rng, small_batch):
+    item_ids, mask = small_batch
+    unique_ids, inverse, owner = batch_structure(item_ids, mask)
+    hidden = Tensor(rng.normal(size=(2, 4, 8)))
+    reps = Tensor(rng.normal(size=(6, 8)))
+    loss = dap_loss(hidden, reps, inverse, mask, owner).item()
+
+    # Manual: anchors are positions with a valid next item.
+    total, count = 0.0, 0
+    for u in range(2):
+        for l in range(3):
+            if not (mask[u, l] and mask[u, l + 1]):
+                continue
+            h = hidden.data[u, l]
+            scores = reps.data @ h
+            target = inverse[u, l + 1]
+            cand = ~owner[u].copy()
+            cand[target] = True
+            exp = np.exp(scores - scores[cand].max())
+            total += -np.log(exp[target] / exp[cand].sum())
+            count += 1
+    assert loss == pytest.approx(total / count, rel=1e-6)
+
+
+def test_dap_loss_excludes_own_items_from_negatives(rng):
+    """A user's *other* interacted items must not appear as negatives."""
+    item_ids = np.array([[1, 2, 3]])
+    mask = np.ones((1, 3), dtype=bool)
+    unique_ids, inverse, owner = batch_structure(item_ids, mask)
+    hidden = Tensor(rng.normal(size=(1, 3, 4)))
+    # If the candidate set were all items, changing item 1's rep would
+    # change the loss at anchor position 1 (target item 3). It must not.
+    reps_a = rng.normal(size=(3, 4))
+    reps_b = reps_a.copy()
+    reps_b[0] += 10.0                            # item 1 representation
+    loss_a = dap_loss(hidden, Tensor(reps_a), inverse, mask, owner).item()
+    loss_b = dap_loss(hidden, Tensor(reps_b), inverse, mask, owner).item()
+    # position0's target is item 2; position1's target item 3; in both
+    # cases item 1 is owned by the user and not the target, so it is
+    # excluded and the loss must be identical.
+    assert loss_a == pytest.approx(loss_b, abs=1e-9)
+
+
+def test_dap_loss_grad(rng, small_batch):
+    item_ids, mask = small_batch
+    _, inverse, owner = batch_structure(item_ids, mask)
+    hidden_np = rng.normal(size=(2, 4, 6))
+
+    def loss_fn(reps):
+        return dap_loss(Tensor(hidden_np), reps, inverse, mask, owner)
+
+    check_grad(loss_fn, rng.normal(size=(6, 6)), atol=1e-4)
+
+
+def test_dap_empty_batch_is_zero():
+    item_ids = np.array([[1, 0]])
+    mask = np.array([[True, False]])      # no position has a next item
+    _, inverse, owner = batch_structure(item_ids, mask)
+    loss = dap_loss(Tensor(np.zeros((1, 2, 4))), Tensor(np.zeros((1, 4))),
+                    inverse, mask, owner)
+    assert loss.item() == 0.0
+
+
+@pytest.mark.parametrize("variant", ["vcl", "icl", "ncl", "nicl"])
+def test_alignment_variants_finite_and_distinct(rng, small_batch, variant):
+    item_ids, mask = small_batch
+    _, inverse, owner = batch_structure(item_ids, mask)
+    t_cls = Tensor(rng.normal(size=(6, 8)))
+    v_cls = Tensor(rng.normal(size=(6, 8)))
+    loss = alignment_loss(t_cls, v_cls, inverse, mask, owner,
+                          variant=variant).item()
+    assert np.isfinite(loss)
+
+
+def test_alignment_variants_differ(rng, small_batch):
+    item_ids, mask = small_batch
+    _, inverse, owner = batch_structure(item_ids, mask)
+    t_cls = Tensor(rng.normal(size=(6, 8)))
+    v_cls = Tensor(rng.normal(size=(6, 8)))
+    values = {v: alignment_loss(t_cls, v_cls, inverse, mask, owner,
+                                variant=v).item()
+              for v in ("vcl", "icl", "ncl", "nicl")}
+    assert len({round(v, 9) for v in values.values()}) == 4
+    # Adding intra-modality negatives can only grow the denominator.
+    assert values["icl"] >= values["vcl"]
+    assert values["nicl"] >= values["ncl"]
+
+
+def test_alignment_none_variant_is_zero(rng, small_batch):
+    item_ids, mask = small_batch
+    _, inverse, owner = batch_structure(item_ids, mask)
+    x = Tensor(rng.normal(size=(6, 8)))
+    assert alignment_loss(x, x, inverse, mask, owner,
+                          variant="none").item() == 0.0
+
+
+@pytest.mark.parametrize("variant,min_gain", [("vcl", 0.2), ("nicl", 0.02)])
+def test_alignment_pulls_matching_pairs_together(rng, variant, min_gain):
+    """Gradient descent on the alignment loss must raise self cosine sim.
+
+    VCL optimizes self-alignment directly, so it must gain a lot; NICL
+    trades some of that for next-item structure but must still improve.
+    """
+    item_ids = np.array([[1, 2, 3, 4], [5, 6, 7, 8]])
+    mask = np.ones((2, 4), dtype=bool)
+    _, inverse, owner = batch_structure(item_ids, mask)
+    from repro.nn.tensor import Parameter
+    from repro.nn.optim import Adam
+    t_cls = Parameter(rng.normal(size=(8, 8)))
+    v_cls = Parameter(rng.normal(size=(8, 8)))
+
+    def self_sim():
+        t = t_cls.data / np.linalg.norm(t_cls.data, axis=1, keepdims=True)
+        v = v_cls.data / np.linalg.norm(v_cls.data, axis=1, keepdims=True)
+        return float((t * v).sum(axis=1).mean())
+
+    before = self_sim()
+    opt = Adam([t_cls, v_cls], lr=0.05)
+    for _ in range(40):
+        opt.zero_grad()
+        loss = alignment_loss(t_cls, v_cls, inverse, mask, owner,
+                              variant=variant)
+        loss.backward()
+        opt.step()
+    assert self_sim() > before + min_gain
+
+
+def test_alignment_grad(rng, small_batch):
+    item_ids, mask = small_batch
+    _, inverse, owner = batch_structure(item_ids, mask)
+    v_np = rng.normal(size=(6, 6))
+
+    def loss_fn(t):
+        return alignment_loss(t, Tensor(v_np), inverse, mask, owner,
+                              variant="nicl")
+
+    check_grad(loss_fn, rng.normal(size=(6, 6)), atol=1e-4)
+
+
+def test_nid_loss_perfect_classifier_is_low(rng):
+    """A classifier that already separates labels gives near-zero loss."""
+    labels = np.array([[0, 1, 2, 0]])
+    mask = np.ones((1, 4), dtype=bool)
+    hidden = np.zeros((1, 4, 3))
+    hidden[0, np.arange(4), labels[0]] = 30.0    # one-hot-ish hiddens
+    classifier = Linear(3, 3, bias=False)
+    classifier.weight.data = np.eye(3)
+    loss = nid_loss(Tensor(hidden), classifier, labels, mask).item()
+    assert loss < 1e-6
+
+
+def test_nid_loss_ignores_padding(rng):
+    labels = np.array([[0, 2]])
+    classifier = Linear(4, 3)
+    hidden = rng.normal(size=(1, 2, 4))
+    full = nid_loss(Tensor(hidden), classifier, labels,
+                    np.array([[True, True]])).item()
+    only_first = nid_loss(Tensor(hidden), classifier, labels,
+                          np.array([[True, False]])).item()
+    assert full != pytest.approx(only_first)
+
+
+def test_masked_mean_pool(rng):
+    hidden = Tensor(np.stack([np.ones((3, 4)), 2 * np.ones((3, 4))]))
+    mask = np.array([[True, True, False], [True, False, False]])
+    pooled = masked_mean_pool(hidden, mask).data
+    np.testing.assert_allclose(pooled[0], 1.0)
+    np.testing.assert_allclose(pooled[1], 2.0)
+
+
+def test_rcl_loss_prefers_own_corruption(rng):
+    """Aligned original/corrupted pairs give lower loss than shuffled ones."""
+    mask = np.ones((4, 3), dtype=bool)
+    base = rng.normal(size=(4, 3, 8))
+    aligned = base + 0.01 * rng.normal(size=base.shape)
+    shuffled = aligned[::-1].copy()
+    low = rcl_loss(Tensor(base), Tensor(aligned), mask).item()
+    high = rcl_loss(Tensor(base), Tensor(shuffled), mask).item()
+    assert low < high
+
+
+def test_rcl_grad(rng):
+    mask = np.ones((3, 2), dtype=bool)
+    corrupt_np = rng.normal(size=(3, 2, 5))
+
+    def loss_fn(h):
+        return rcl_loss(h, Tensor(corrupt_np), mask)
+
+    check_grad(loss_fn, rng.normal(size=(3, 2, 5)), atol=1e-4)

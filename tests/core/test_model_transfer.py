@@ -1,0 +1,155 @@
+"""PMMRec model wiring, modality switches and component transfer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (PMMRec, PMMRecConfig, TRANSFER_SETTINGS,
+                        build_target_model, transfer_components,
+                        transferred_model)
+from repro.data import build_dataset, pad_sequences
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("kwai_food", profile="smoke")
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    return pad_sequences(dataset.split.train[:6], max_len=12)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PMMRecConfig(alignment="bogus")
+    with pytest.raises(ValueError):
+        PMMRecConfig(modality="audio")
+    with pytest.raises(ValueError):
+        PMMRecConfig(temperature=0.0)
+    with pytest.raises(ValueError):
+        PMMRecConfig(nid_shuffle_frac=1.5)
+
+
+def test_encode_items_multi(dataset):
+    model = PMMRec(PMMRecConfig(dim=32))
+    enc = model.encode_items(dataset, np.array([1, 2, 3]))
+    assert enc.sequence.shape == (3, 32)
+    assert enc.text_cls.shape == (3, 32)
+    assert enc.vision_cls.shape == (3, 32)
+
+
+@pytest.mark.parametrize("modality,has_text,has_vision",
+                         [("text", True, False), ("vision", False, True)])
+def test_encode_items_single_modality(dataset, modality, has_text,
+                                      has_vision):
+    model = PMMRec(PMMRecConfig(dim=32, modality=modality))
+    enc = model.encode_items(dataset, np.array([1, 2]))
+    assert enc.sequence.shape == (2, 32)
+    assert (enc.text_cls is not None) == has_text
+    assert (enc.vision_cls is not None) == has_vision
+
+
+def test_training_loss_terms(dataset, batch):
+    model = PMMRec(PMMRecConfig(dim=32))
+    loss, metrics = model.training_loss(dataset, batch.item_ids, batch.mask)
+    assert {"dap", "alignment", "nid", "rcl", "total"} <= set(metrics)
+    assert metrics["total"] == pytest.approx(
+        float(loss.data), rel=1e-9)
+    assert np.isfinite(metrics["total"])
+
+
+def test_finetune_loss_is_dap_only(dataset, batch):
+    model = PMMRec(PMMRecConfig(dim=32))
+    _, metrics = model.training_loss(dataset, batch.item_ids, batch.mask,
+                                     pretraining=False)
+    assert set(metrics) == {"dap", "total"}
+
+
+def test_loss_toggles(dataset, batch):
+    model = PMMRec(PMMRecConfig(dim=32, use_nid=False, use_rcl=False,
+                                alignment="none"))
+    _, metrics = model.training_loss(dataset, batch.item_ids, batch.mask)
+    assert "nid" not in metrics and "rcl" not in metrics
+    assert "alignment" not in metrics
+
+
+def test_encode_catalog_row0_zero(dataset):
+    model = PMMRec(PMMRecConfig(dim=32))
+    catalog = model.encode_catalog(dataset)
+    assert catalog.shape == (dataset.num_items + 1, 32)
+    np.testing.assert_array_equal(catalog[0], 0.0)
+    assert np.abs(catalog[1:]).sum() > 0
+
+
+def test_score_histories_shape(dataset):
+    model = PMMRec(PMMRecConfig(dim=32))
+    histories = [ex.history for ex in dataset.split.test[:5]]
+    scores = model.score_histories(dataset, histories)
+    assert scores.shape == (5, dataset.num_items + 1)
+
+
+def test_scoring_is_deterministic_in_eval(dataset):
+    model = PMMRec(PMMRecConfig(dim=32))
+    histories = [ex.history for ex in dataset.split.test[:3]]
+    a = model.score_histories(dataset, histories)
+    b = model.score_histories(dataset, histories)
+    np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+def test_transfer_settings_cover_paper_table1():
+    assert set(TRANSFER_SETTINGS) == {"full", "item_encoders",
+                                      "user_encoder", "text_only",
+                                      "vision_only"}
+
+
+@pytest.mark.parametrize("setting,modality", [
+    ("full", "multi"), ("item_encoders", "multi"), ("user_encoder", "multi"),
+    ("text_only", "text"), ("vision_only", "vision")])
+def test_build_target_model_modality(setting, modality):
+    target = build_target_model(PMMRecConfig(dim=32), setting)
+    assert target.config.modality == modality
+
+
+def test_transfer_components_copies_only_named(dataset):
+    source = PMMRec(PMMRecConfig(dim=32, seed=1))
+    # make the source distinctive
+    for p in source.parameters():
+        p.data = p.data + 1.0
+    target = build_target_model(source.config, "user_encoder")
+    before_text = target.text_encoder.state_dict()
+    transfer_components(source, target, "user_encoder")
+    np.testing.assert_array_equal(
+        target.user_encoder.pos_emb.weight.data,
+        source.user_encoder.pos_emb.weight.data)
+    # Text encoder untouched.
+    after_text = target.text_encoder.state_dict()
+    for name in before_text:
+        np.testing.assert_array_equal(before_text[name], after_text[name])
+
+
+def test_transferred_model_full_matches_source(dataset):
+    source = PMMRec(PMMRecConfig(dim=32, seed=2))
+    target = transferred_model(source, "full")
+    for name, value in source.state_dict().items():
+        if name.startswith(("text_encoder.", "vision_encoder.", "fusion.",
+                            "user_encoder.")):
+            np.testing.assert_array_equal(value, target.state_dict()[name])
+
+
+def test_transfer_unknown_setting_raises():
+    source = PMMRec(PMMRecConfig(dim=32))
+    with pytest.raises(KeyError):
+        transferred_model(source, "everything")
+    with pytest.raises(KeyError):
+        build_target_model(PMMRecConfig(dim=32), "nothing")
+
+
+def test_text_only_transfer_runs_end_to_end(dataset):
+    """A text-only transferred model must score without vision features."""
+    source = PMMRec(PMMRecConfig(dim=32, seed=3))
+    target = transferred_model(source, "text_only")
+    histories = [ex.history for ex in dataset.split.test[:3]]
+    scores = target.score_histories(dataset, histories)
+    assert np.isfinite(scores).all()

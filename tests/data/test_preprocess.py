@@ -1,0 +1,97 @@
+"""k-core filtering, remapping, truncation and statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (interaction_stats, k_core_filter, remap_item_ids,
+                        truncate_sequences)
+
+
+def _seqs(*lists):
+    return [np.asarray(s, dtype=np.int64) for s in lists]
+
+
+def test_k_core_drops_rare_items():
+    # Item 9 appears once; users interacting mostly with it get filtered.
+    seqs = _seqs([1, 2, 3, 1, 2], [1, 2, 3, 2, 1], [1, 2, 3, 3, 9],
+                 [1, 2, 3, 1, 3], [2, 1, 3, 2, 3])
+    filtered, kept = k_core_filter(seqs, min_user=4, min_item=5)
+    assert 9 not in kept
+    assert set(kept) == {1, 2, 3}
+    for seq in filtered:
+        assert len(seq) >= 4
+
+
+def test_k_core_drops_short_users():
+    seqs = _seqs([1, 2], [1, 2, 1, 2, 1], [2, 1, 2, 1, 2],
+                 [1, 2, 1, 2, 2], [1, 1, 2, 2, 1], [2, 2, 1, 1, 2])
+    filtered, kept = k_core_filter(seqs, min_user=5, min_item=5)
+    assert len(filtered) == 5            # the 2-interaction user is gone
+    assert set(kept) == {1, 2}
+
+
+def test_k_core_iterates_to_fixpoint():
+    # Dropping user 0 (too short after filtering) removes the only support
+    # for item 7, which must then be dropped too.
+    seqs = _seqs([7, 7, 7, 7, 1], [1, 2, 1, 2, 1], [2, 1, 2, 1, 2],
+                 [1, 2, 2, 1, 1], [2, 1, 1, 2, 2])
+    filtered, kept = k_core_filter(seqs, min_user=5, min_item=5)
+    assert 7 not in kept
+
+
+def test_k_core_empty_result():
+    filtered, kept = k_core_filter(_seqs([1, 2, 3]), min_user=5, min_item=5)
+    assert filtered == [] and len(kept) == 0
+
+
+def test_remap_is_contiguous_from_one():
+    seqs = _seqs([10, 20, 10], [20, 30, 30])
+    remapped = remap_item_ids(seqs, np.array([10, 20, 30]))
+    flat = np.concatenate(remapped)
+    assert set(flat) == {1, 2, 3}
+    np.testing.assert_array_equal(remapped[0], [1, 2, 1])
+
+
+def test_remap_rejects_unknown_item():
+    with pytest.raises(ValueError):
+        remap_item_ids(_seqs([10, 99]), np.array([10]))
+
+
+def test_truncate_keeps_most_recent():
+    out = truncate_sequences(_seqs([1, 2, 3, 4, 5]), max_len=3)
+    np.testing.assert_array_equal(out[0], [3, 4, 5])
+
+
+def test_interaction_stats_basic():
+    stats = interaction_stats(_seqs([1, 2, 3], [1, 2, 3]), num_items=3)
+    assert stats["users"] == 2
+    assert stats["actions"] == 6
+    assert stats["avg_length"] == 3.0
+    assert stats["sparsity"] == 0.0      # every user saw every item
+
+
+def test_interaction_stats_repeats_do_not_break_sparsity():
+    # A user interacting with one item many times must not push
+    # sparsity negative (it counts unique pairs).
+    stats = interaction_stats(_seqs([1] * 50), num_items=10)
+    assert 0.0 <= stats["sparsity"] <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(1, 8), min_size=1, max_size=12),
+                min_size=1, max_size=15))
+def test_k_core_postconditions_hypothesis(raw):
+    seqs = [np.asarray(s, dtype=np.int64) for s in raw]
+    filtered, kept = k_core_filter(seqs, min_user=3, min_item=3)
+    counts: dict[int, int] = {}
+    for seq in filtered:
+        assert len(seq) >= 3
+        for item in seq:
+            assert item in kept
+            counts[int(item)] = counts.get(int(item), 0) + 1
+    for item, count in counts.items():
+        assert count >= 3

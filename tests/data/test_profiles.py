@@ -1,0 +1,61 @@
+"""Scale profiles and dataset sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import PROFILES, dataset_size, get_profile
+from repro.data.catalog import downstream_names, source_names
+
+
+def test_default_profile_is_paper(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    assert get_profile().name == "paper"
+
+
+def test_env_variable_selects_profile(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "smoke")
+    assert get_profile().name == "smoke"
+    # Explicit argument beats the environment.
+    assert get_profile("full").name == "full"
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        get_profile("gigantic")
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError):
+        dataset_size("netflix", PROFILES["paper"])
+
+
+def test_all_datasets_have_sizes():
+    for name in source_names() + downstream_names():
+        users, items = dataset_size(name, PROFILES["paper"])
+        assert users > 0 and items > 0
+
+
+def test_profile_scaling_monotone():
+    for name in source_names():
+        smoke = dataset_size(name, PROFILES["smoke"])
+        paper = dataset_size(name, PROFILES["paper"])
+        full = dataset_size(name, PROFILES["full"])
+        assert smoke[0] <= paper[0] <= full[0]
+        assert smoke[1] <= paper[1] <= full[1]
+
+
+def test_minimums_enforced():
+    smoke = PROFILES["smoke"]
+    for name in source_names() + downstream_names():
+        users, items = dataset_size(name, smoke)
+        assert users >= smoke.min_users
+        assert items >= smoke.min_items
+
+
+def test_sources_dominate_downstream_sizes():
+    paper = PROFILES["paper"]
+    smallest_source = min(dataset_size(n, paper)[0] for n in source_names())
+    largest_downstream = max(dataset_size(n, paper)[0]
+                             for n in downstream_names())
+    assert smallest_source >= largest_downstream

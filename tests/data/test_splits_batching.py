@@ -1,0 +1,121 @@
+"""Leave-one-out splits, batching and cold-start extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (Batch, batch_iterator, cold_items,
+                        cold_start_examples, leave_one_out, pad_sequences,
+                        shift_targets)
+
+
+def _seqs(*lists):
+    return [np.asarray(s, dtype=np.int64) for s in lists]
+
+
+def test_leave_one_out_assigns_last_two():
+    split = leave_one_out(_seqs([1, 2, 3, 4, 5]))
+    np.testing.assert_array_equal(split.train[0], [1, 2, 3])
+    assert split.valid[0].target == 4
+    np.testing.assert_array_equal(split.valid[0].history, [1, 2, 3])
+    assert split.test[0].target == 5
+    np.testing.assert_array_equal(split.test[0].history, [1, 2, 3, 4])
+
+
+def test_leave_one_out_short_sequences_train_only():
+    split = leave_one_out(_seqs([1, 2]), min_train_len=3)
+    assert len(split.train) == 1
+    assert split.valid == [] and split.test == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(1, 50), min_size=3, max_size=20),
+                min_size=1, max_size=10))
+def test_leave_one_out_consistency_hypothesis(raw):
+    seqs = [np.asarray(s, dtype=np.int64) for s in raw]
+    split = leave_one_out(seqs)
+    assert len(split.valid) == len(split.test) == len(seqs)
+    for seq, val, test in zip(seqs, split.valid, split.test):
+        assert test.target == seq[-1]
+        assert val.target == seq[-2]
+        assert len(test.history) == len(seq) - 1
+        assert len(val.history) == len(seq) - 2
+
+
+def test_pad_sequences_shapes_and_mask():
+    batch = pad_sequences(_seqs([1, 2, 3], [4]))
+    assert batch.item_ids.shape == (2, 3)
+    np.testing.assert_array_equal(batch.item_ids[1], [4, 0, 0])
+    np.testing.assert_array_equal(batch.mask[1], [True, False, False])
+    assert batch.batch_size == 2 and batch.length == 3
+
+
+def test_pad_sequences_truncates_to_max_len():
+    batch = pad_sequences(_seqs([1, 2, 3, 4, 5]), max_len=3)
+    np.testing.assert_array_equal(batch.item_ids[0], [3, 4, 5])
+
+
+def test_pad_sequences_rejects_empty():
+    with pytest.raises(ValueError):
+        pad_sequences([])
+
+
+def test_shift_targets():
+    batch = pad_sequences(_seqs([1, 2, 3]))
+    targets = shift_targets(batch)
+    np.testing.assert_array_equal(targets[0], [2, 3, 0])
+
+
+def test_batch_iterator_covers_all_users(rng):
+    seqs = _seqs(*[[i, i + 1, i + 2] for i in range(1, 11)])
+    seen = 0
+    for batch in batch_iterator(seqs, batch_size=3, rng=rng):
+        seen += batch.batch_size
+    assert seen == 10
+
+
+def test_batch_iterator_drop_last(rng):
+    seqs = _seqs(*[[1, 2]] * 7)
+    batches = list(batch_iterator(seqs, batch_size=3, rng=rng,
+                                  drop_last=True))
+    assert sum(b.batch_size for b in batches) == 6
+
+
+def test_batch_iterator_shuffles(rng):
+    seqs = _seqs(*[[i, i] for i in range(1, 40)])
+    first = next(iter(batch_iterator(seqs, batch_size=39,
+                                     rng=np.random.default_rng(0))))
+    second = next(iter(batch_iterator(seqs, batch_size=39,
+                                      rng=np.random.default_rng(1))))
+    assert not np.array_equal(first.item_ids, second.item_ids)
+
+
+def test_cold_items_threshold():
+    train = _seqs([1, 1, 1, 2], [1, 2, 3])
+    cold = cold_items(train, num_items=3, threshold=3)
+    # item 1 occurs 4x (warm); item 2 occurs 2x, item 3 once (cold).
+    assert set(cold) == {2, 3}
+
+
+def test_cold_start_examples_end_at_cold_item():
+    full = _seqs([1, 1, 2, 1, 3])
+    train = _seqs([1, 1, 2, 1])
+    examples = cold_start_examples(full, train, num_items=3, threshold=2)
+    assert all(ex.target in (2, 3) for ex in examples)
+    for ex in examples:
+        assert len(ex.history) >= 2
+    # the target at position 4 (item 3) yields history of length 4
+    targets = sorted(ex.target for ex in examples)
+    assert 3 in targets
+
+
+def test_cold_start_requires_min_history():
+    full = _seqs([9, 1, 1, 1])
+    train = _seqs([1, 1, 1])
+    examples = cold_start_examples(full, train, num_items=9, threshold=2,
+                                   min_history=2)
+    # item 9 is cold but sits at position 0 -> no example for it.
+    assert all(ex.target != 9 for ex in examples)

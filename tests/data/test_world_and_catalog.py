@@ -1,0 +1,121 @@
+"""The latent world, platform rendering and the dataset catalogue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (MAX_SEQ_LEN, MAX_TEXT_LEN, TOPICS, LatentWorld,
+                        WorldConfig, build_dataset, downstream_names,
+                        fuse_datasets, get_world, platform_for, source_names,
+                        text_vocab_size)
+
+
+def test_world_is_deterministic():
+    a, b = LatentWorld(WorldConfig()), LatentWorld(WorldConfig())
+    np.testing.assert_array_equal(a.transition, b.transition)
+    np.testing.assert_array_equal(a.token_latents, b.token_latents)
+
+
+def test_modality_views_overlap_but_differ():
+    world = get_world()
+    text, vision = world.text_view, world.vision_view
+    assert text.sum() == world.config.text_view_dims
+    assert vision.sum() == world.config.vision_view_dims
+    # Union covers the full latent; neither view alone does.
+    assert np.all((text + vision) > 0)
+    assert not np.array_equal(text, vision)
+
+
+def test_generate_sequence_items_in_range(rng):
+    world = get_world()
+    latents = world.sample_items(np.zeros(30, dtype=int), rng)
+    seq = world.generate_sequence(latents[0], latents, length=12, rng=rng)
+    assert seq.shape == (12,)
+    assert seq.min() >= 0 and seq.max() < 30
+
+
+def test_render_text_respects_length_and_style(rng):
+    world = get_world()
+    latent = world.sample_items(np.array([0]), rng)[0]
+    tokens = world.render_text(latent, 0, length=10, rng=rng,
+                               style_offset=8, style_count=8,
+                               noise_tokens=2)
+    assert len(tokens) == 10
+    style = tokens[0]
+    assert world.config.vocab_size + 8 <= style < world.config.vocab_size + 16
+
+
+def test_render_image_clutter_changes_image(rng):
+    world = get_world()
+    latent = world.sample_items(np.array([1]), rng)[0]
+    clean = world.render_image(latent, np.random.default_rng(0), clutter=0.0)
+    noisy = world.render_image(latent, np.random.default_rng(0), clutter=1.0)
+    assert clean.shape == (16, 16, 3)
+    assert np.abs(clean - noisy).mean() > 0.05
+
+
+def test_platform_specs_cover_all_datasets():
+    for name in source_names() + downstream_names():
+        spec = platform_for(name)
+        assert spec.name == name.split("_")[0]
+    with pytest.raises(KeyError):
+        platform_for("netflix_movies")
+
+
+@pytest.mark.parametrize("name", source_names() + downstream_names())
+def test_build_dataset_invariants(name):
+    ds = build_dataset(name, profile="smoke")
+    assert ds.num_items > 0 and ds.num_users > 0
+    # Row 0 is the padding item everywhere.
+    assert np.all(ds.text_tokens[0] == 0)
+    assert np.all(ds.images[0] == 0.0)
+    assert ds.item_topics[0] == -1
+    # Sequences reference valid item ids and respect the length cap.
+    for seq in ds.sequences:
+        assert seq.min() >= 1 and seq.max() <= ds.num_items
+        assert len(seq) <= MAX_SEQ_LEN
+    # Text token ids stay inside the declared vocabulary.
+    assert ds.text_tokens.max() < text_vocab_size()
+    assert ds.text_tokens.shape[1] == MAX_TEXT_LEN
+
+
+def test_build_dataset_is_cached_and_deterministic():
+    a = build_dataset("kwai_food", profile="smoke")
+    b = build_dataset("kwai_food", profile="smoke")
+    assert a is b                                 # lru cache
+    c = build_dataset("kwai_food", profile="smoke", seed=1)
+    assert a is not c
+
+
+def test_downstream_sets_are_single_topic():
+    ds = build_dataset("bili_food", profile="smoke")
+    topics = set(ds.item_topics[1:].tolist())
+    assert topics == {TOPICS.index("food")}
+
+
+def test_fuse_datasets_offsets_ids():
+    sources = [build_dataset(n, profile="smoke") for n in ("bili", "kwai")]
+    fused = fuse_datasets(sources)
+    assert fused.num_items == sources[0].num_items + sources[1].num_items
+    assert len(fused.sequences) == sum(s.num_users for s in sources)
+    # Second dataset's items must be offset beyond the first's range.
+    second_block = fused.sequences[sources[0].num_users]
+    assert second_block.min() > sources[0].num_items
+    # Feature tables align: fused row of an offset item equals the original.
+    item = int(second_block[0])
+    orig = item - sources[0].num_items
+    np.testing.assert_array_equal(fused.text_tokens[item],
+                                  sources[1].text_tokens[orig])
+    np.testing.assert_array_equal(fused.images[item], sources[1].images[orig])
+
+
+def test_fuse_requires_nonempty():
+    with pytest.raises(ValueError):
+        fuse_datasets([])
+
+
+def test_sources_have_higher_clutter_on_video_platforms():
+    from repro.data import PLATFORMS
+    assert PLATFORMS["bili"].clutter > PLATFORMS["hm"].clutter
+    assert PLATFORMS["kwai"].clutter > PLATFORMS["amazon"].clutter

@@ -1,0 +1,109 @@
+"""Properties of the shared transition dynamics — the transfer premise.
+
+The paper's Figure 1 claim, encoded by the world: platforms share the
+*dynamics* even though their content differs. These tests verify the
+mechanism directly, because every transfer result in the benchmark suite
+depends on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import LatentWorld, WorldConfig, build_dataset, get_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return get_world()
+
+
+def _transition_log_likelihood(dataset, transition: np.ndarray,
+                               momentum: float) -> float:
+    """Mean log-probability of observed next items under an operator."""
+    world = get_world()
+    total, count = 0.0, 0
+    for seq in dataset.sequences[:60]:
+        state = dataset.item_latents[seq[0]].copy()
+        for prev, nxt in zip(seq[:-1], seq[1:]):
+            target = transition @ state
+            scores = dataset.item_latents[1:] @ target
+            scores = scores / world.config.choice_temperature
+            scores -= scores.max()
+            probs = np.exp(scores) / np.exp(scores).sum()
+            total += np.log(probs[nxt - 1] + 1e-12)
+            count += 1
+            state = (momentum * (transition @ state)
+                     + (1 - momentum) * dataset.item_latents[nxt])
+    return total / count
+
+
+def test_true_operator_beats_random_operator(world):
+    """Observed sequences are far more likely under the world's operator."""
+    rng = np.random.default_rng(0)
+    ds = build_dataset("bili_food", profile="smoke")
+    random_q, _ = np.linalg.qr(rng.normal(size=world.transition.shape))
+    truth = _transition_log_likelihood(ds, world.transition,
+                                       world.config.transition_momentum)
+    noise = _transition_log_likelihood(ds, random_q,
+                                       world.config.transition_momentum)
+    assert truth > noise + 0.1
+
+
+def test_same_operator_explains_both_platforms(world):
+    """One operator explains Bili AND HM sequences — the transfer premise."""
+    momentum = world.config.transition_momentum
+    for name in ("bili_food", "hm_shoes"):
+        ds = build_dataset(name, profile="smoke")
+        truth = _transition_log_likelihood(ds, world.transition, momentum)
+        identity = _transition_log_likelihood(ds, np.eye(len(world.transition)),
+                                              momentum)
+        assert truth > identity, name
+
+
+def test_interaction_noise_degrades_predictability(world):
+    """Noisy platforms' sequences fit the operator worse than clean ones.
+
+    This is what gives the denoising objectives (NID/RCL) their role.
+    """
+    rng = np.random.default_rng(3)
+    items = world.sample_items(np.zeros(60, dtype=int), rng)
+    pref = items[0]
+
+    def fit(noise):
+        gen = np.random.default_rng(11)
+        ll, n = 0.0, 0
+        for _ in range(30):
+            seq = world.generate_sequence(pref, items, 10, gen,
+                                          noise_prob=noise)
+            state = items[seq[0]].copy()
+            for prev, nxt in zip(seq[:-1], seq[1:]):
+                target = world.transition @ state
+                scores = items @ target / world.config.choice_temperature
+                scores -= scores.max()
+                probs = np.exp(scores) / np.exp(scores).sum()
+                ll += np.log(probs[nxt] + 1e-12)
+                n += 1
+                state = (world.config.transition_momentum * target
+                         + (1 - world.config.transition_momentum) * items[nxt])
+        return ll / n
+
+    assert fit(0.0) > fit(0.4) + 0.1
+
+
+def test_world_config_views_cover_space():
+    config = WorldConfig()
+    world = LatentWorld(config)
+    union = world.text_view + world.vision_view
+    assert (union > 0).all()
+    overlap = (world.text_view * world.vision_view).sum()
+    assert 0 < overlap < config.semantic_dim   # overlapping partial views
+
+
+def test_sequences_respect_candidate_locality(world):
+    """Items are sampled from candidate pools, so no id out of range."""
+    rng = np.random.default_rng(5)
+    items = world.sample_items(np.zeros(10, dtype=int), rng)
+    seq = world.generate_sequence(items[0], items, 50, rng, noise_prob=0.5)
+    assert seq.min() >= 0 and seq.max() < 10

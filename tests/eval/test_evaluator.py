@@ -1,0 +1,83 @@
+"""Evaluation loops over leave-one-out examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.data.splits import EvalExample
+from repro.eval import evaluate_model, evaluate_ranking
+
+
+def test_evaluate_ranking_with_oracle_scores():
+    examples = [EvalExample(history=np.array([1, 2]), target=3),
+                EvalExample(history=np.array([2, 3]), target=1)]
+
+    def oracle(histories):
+        scores = np.zeros((len(histories), 5))
+        # Give each example's (known) target the top score.
+        for row, history in enumerate(histories):
+            target = 3 if history[0] == 1 else 1
+            scores[row, target] = 10.0
+        return scores
+
+    out = evaluate_ranking(oracle, examples, ks=(1, 10))
+    assert out["hr@1"] == 1.0 and out["ndcg@1"] == 1.0
+
+
+def test_evaluate_ranking_empty_examples():
+    out = evaluate_ranking(lambda h: np.zeros((0, 5)), [], ks=(10,))
+    assert out == {"hr@10": 0.0, "ndcg@10": 0.0}
+
+
+def test_evaluate_ranking_batches_consistently():
+    rng = np.random.default_rng(0)
+    examples = [EvalExample(history=np.array([1, 2]), target=int(t))
+                for t in rng.integers(1, 20, size=30)]
+    table = rng.normal(size=(31, 21))
+    calls = []
+
+    def scorer(histories):
+        calls.append(len(histories))
+        return table[:len(histories)]
+
+    big = evaluate_ranking(scorer, examples, ks=(10,), batch_size=100)
+    calls.clear()
+    small = evaluate_ranking(scorer, examples, ks=(10,), batch_size=7)
+    assert len(calls) == 5            # ceil(30 / 7)
+    # Same scorer rows per position => metrics must agree only if batching
+    # aligns; here the fake scorer depends on batch position, so instead we
+    # check the real invariant on a position-independent scorer:
+
+    def stable_scorer(histories):
+        return np.stack([table[ex % 31] for ex in
+                         [h[0] for h in histories]])
+
+    a = evaluate_ranking(stable_scorer, examples, ks=(10,), batch_size=100)
+    b = evaluate_ranking(stable_scorer, examples, ks=(10,), batch_size=3)
+    assert a == b
+
+
+def test_evaluate_model_uses_encode_catalog_once():
+    """Models exposing encode_catalog must be asked for it exactly once."""
+    ds = build_dataset("kwai_food", profile="smoke")
+
+    class FakeModel:
+        def __init__(self):
+            self.catalog_calls = 0
+
+        def encode_catalog(self, dataset):
+            self.catalog_calls += 1
+            return np.random.default_rng(0).normal(
+                size=(dataset.num_items + 1, 8))
+
+        def score_histories(self, dataset, histories, catalog=None):
+            assert catalog is not None
+            return np.zeros((len(histories), dataset.num_items + 1))
+
+    model = FakeModel()
+    out = evaluate_model(model, ds, ds.split.test[:20], ks=(10,),
+                         batch_size=5)
+    assert model.catalog_calls == 1
+    assert "hr@10" in out

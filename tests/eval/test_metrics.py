@@ -1,0 +1,74 @@
+"""Ranking metrics: exact values, edge cases and properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (hit_ratio, metrics_from_ranks, ndcg, rank_of_target)
+
+
+def test_rank_of_target_basic():
+    scores = np.array([[0.0, 1.0, 3.0, 2.0]])   # col 0 = padding
+    assert rank_of_target(scores, np.array([2]))[0] == 1
+    assert rank_of_target(scores, np.array([3]))[0] == 2
+    assert rank_of_target(scores, np.array([1]))[0] == 3
+
+
+def test_rank_ignores_padding_column():
+    scores = np.array([[100.0, 1.0, 0.5]])      # huge padding score
+    assert rank_of_target(scores, np.array([1]))[0] == 1
+
+
+def test_rank_ties_are_pessimistic():
+    scores = np.array([[0.0, 1.0, 1.0, 1.0]])
+    # All three tie: target counts all equal scores above it.
+    assert rank_of_target(scores, np.array([2]))[0] == 3
+
+
+def test_hit_ratio_and_ndcg_values():
+    ranks = np.array([1, 5, 11])
+    assert hit_ratio(ranks, 10) == pytest.approx(2 / 3)
+    expected = (1.0 / np.log2(2) + 1.0 / np.log2(6)) / 3
+    assert ndcg(ranks, 10) == pytest.approx(expected)
+
+
+def test_rank1_gives_perfect_ndcg():
+    assert ndcg(np.array([1]), 10) == pytest.approx(1.0)
+
+
+def test_empty_ranks():
+    assert hit_ratio(np.array([]), 10) == 0.0
+    assert ndcg(np.array([]), 10) == 0.0
+
+
+def test_metrics_from_ranks_keys():
+    out = metrics_from_ranks(np.array([1, 2]), ks=(10, 20))
+    assert set(out) == {"hr@10", "ndcg@10", "hr@20", "ndcg@20"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 200), min_size=1, max_size=50),
+       st.sampled_from([5, 10, 20]))
+def test_metric_properties_hypothesis(ranks, k):
+    ranks = np.array(ranks)
+    hr = hit_ratio(ranks, k)
+    ng = ndcg(ranks, k)
+    assert 0.0 <= ng <= hr <= 1.0          # NDCG never exceeds HR
+    # Monotonicity in k.
+    assert hit_ratio(ranks, k) <= hit_ratio(ranks, k + 10)
+    assert ndcg(ranks, k) <= ndcg(ranks, k + 10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 30), st.integers(0, 10 ** 6))
+def test_rank_of_target_matches_argsort(num_items, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=(1, num_items + 1))
+    target = int(rng.integers(1, num_items + 1))
+    rank = rank_of_target(scores, np.array([target]))[0]
+    order = np.argsort(-scores[0, 1:], kind="stable") + 1
+    # With continuous scores ties have probability zero.
+    assert order[rank - 1] == target

@@ -1,0 +1,64 @@
+"""Experiment cells: contracts on the smoke profile (fast variants only)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import cells
+from repro.experiments.runner import cache_dir
+
+
+def test_lr_for_routes_by_method():
+    assert cells._lr_for("pmmrec") == cells._MODALITY_LR
+    assert cells._lr_for("pmmrec-text") == cells._MODALITY_LR
+    assert cells._lr_for("morec++") == cells._MODALITY_LR
+    assert cells._lr_for("sasrec") == cells._DEFAULT_LR
+    assert cells._lr_for("grurec") == cells._DEFAULT_LR
+
+
+def test_make_pmmrec_variants_configure_losses():
+    assert cells._make_pmmrec("pmmrec-wo-nid", 0).config.use_nid is False
+    assert cells._make_pmmrec("pmmrec-only-vcl", 0).config.alignment == "vcl"
+    assert cells._make_pmmrec("pmmrec-text", 0).config.modality == "text"
+    with pytest.raises(KeyError):
+        cells._make_pmmrec("pmmrec-wo-everything", 0)
+
+
+def test_pretrain_model_rejects_id_methods():
+    with pytest.raises(ValueError):
+        cells.pretrain_model("sasrec", ["bili"], profile="smoke")
+
+
+def test_source_performance_contract():
+    out = cells.source_performance("fpmc", "kwai_food", profile="smoke",
+                                   seed=5, with_cold=True)
+    assert out["method"] == "fpmc"
+    assert set(out["test"]) == {f"{m}@{k}" for m in ("hr", "ndcg")
+                                for k in (10, 20, 50)}
+    assert "cold" in out and out["cold_examples"] >= 0
+    assert out["epochs"] >= 1
+
+
+def test_transfer_finetune_scratch_contract():
+    out = cells.transfer_finetune("grurec", "kwai_food", profile="smoke",
+                                  use_pt=False, seed=5)
+    assert out["use_pt"] is False
+    assert out["curve"], "curve must be recorded"
+    assert np.isfinite(out["test"]["hr@10"])
+
+
+def test_pretrain_then_finetune_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    pre = cells.pretrain_model("unisrec", ["kwai"], profile="smoke", seed=5)
+    assert (cache_dir() / (pre["checkpoint"] + ".npz")).exists()
+    out = cells.transfer_finetune("unisrec", "kwai_food", profile="smoke",
+                                  use_pt=True, checkpoint=pre["checkpoint"],
+                                  seed=5)
+    assert out["use_pt"] is True
+    assert np.isfinite(out["test"]["hr@10"])
+
+
+def test_design_ablation_validates_kind():
+    with pytest.raises(KeyError):
+        cells.design_ablation("dropout", 0.5, "kwai_food", profile="smoke")

@@ -1,0 +1,59 @@
+"""Cheap experiment modules (Tables I-II) and the formatting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table1_capabilities, table2_datasets
+from repro.experiments.formatting import format_table, pct, sparkline
+
+
+def test_pct_formatting():
+    assert pct(0.12345) == "12.35"
+    assert pct(1.0) == "100.00"
+    assert pct(0.5, digits=1) == "50.0"
+
+
+def test_format_table_alignment():
+    out = format_table("T", ["col", "x"], [["a", "1"], ["bbbb", "22"]])
+    lines = out.split("\n")
+    assert lines[0] == "== T =="
+    assert all("|" in line for line in lines[1:] if "-" not in line)
+    # Columns aligned: separators at the same offset in every data row.
+    assert lines[3].index("|") == lines[4].index("|")
+
+
+def test_sparkline_monotone():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] < line[-1]
+
+
+def test_sparkline_downsamples():
+    line = sparkline(list(np.linspace(0, 1, 100)), width=10)
+    assert len(line) == 10
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    flat = sparkline([0.3, 0.3, 0.3])
+    assert len(set(flat)) == 1
+
+
+def test_table1_shape():
+    results = table1_capabilities.run()
+    assert "PMMRec (ours)" in results["rows"]
+    rendered = table1_capabilities.render(results)
+    assert "Table I" in rendered and "PMMRec" in rendered
+
+
+def test_table2_smoke_profile():
+    results = table2_datasets.run(profile="smoke")
+    assert results["profile"] == "smoke"
+    assert "Source" in results["rows"]
+    rendered = table2_datasets.render(results)
+    assert "kwai_food" in rendered
+    # Sanity: fused source row aggregates the four platforms.
+    total = sum(results["rows"]["-" + n]["actions"]
+                for n in ("bili", "kwai", "hm", "amazon"))
+    assert results["rows"]["Source"]["actions"] == total

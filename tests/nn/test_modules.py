@@ -1,0 +1,190 @@
+"""Module system, core layers, attention, recurrent and conv blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.tensor import Tensor
+
+from ..conftest import check_grad
+
+
+class _Toy(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.drop = nn.Dropout(0.5)
+
+    def forward(self, x):
+        return self.fc2(self.drop(self.fc1(x).relu()))
+
+
+def test_named_parameters_recursive():
+    model = _Toy()
+    names = dict(model.named_parameters())
+    assert "fc1.weight" in names and "fc2.bias" in names
+    assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+def test_train_eval_propagates():
+    model = _Toy()
+    model.eval()
+    assert not model.drop.training
+    model.train()
+    assert model.drop.training
+
+
+def test_state_dict_roundtrip(rng):
+    a, b = _Toy(), _Toy()
+    b.fc1.weight.data = rng.normal(size=b.fc1.weight.shape)
+    b.load_state_dict(a.state_dict())
+    np.testing.assert_array_equal(a.fc1.weight.data, b.fc1.weight.data)
+
+
+def test_load_state_dict_strict_mismatch():
+    model = _Toy()
+    with pytest.raises(KeyError):
+        model.load_state_dict({"nope": np.zeros(3)})
+
+
+def test_load_state_dict_shape_mismatch():
+    model = _Toy()
+    state = model.state_dict()
+    state["fc1.weight"] = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_non_strict_partial():
+    model = _Toy()
+    before = model.fc2.weight.data.copy()
+    state = {"fc1.weight": np.zeros((4, 8))}
+    model.load_state_dict(state, strict=False)
+    np.testing.assert_array_equal(model.fc1.weight.data, 0.0)
+    np.testing.assert_array_equal(model.fc2.weight.data, before)
+
+
+def test_sequential_and_identity(rng):
+    seq = nn.Sequential(nn.Linear(3, 3), nn.Identity())
+    x = Tensor(rng.normal(size=(2, 3)))
+    out = seq(x)
+    assert out.shape == (2, 3)
+
+
+def test_linear_no_bias():
+    layer = nn.Linear(3, 2, bias=False)
+    assert layer.bias is None
+    assert dict(layer.named_parameters()).keys() == {"weight"}
+
+
+def test_embedding_lookup_and_padding():
+    emb = nn.Embedding(10, 4, padding_idx=0)
+    np.testing.assert_array_equal(emb.weight.data[0], 0.0)
+    out = emb(np.array([[1, 0], [2, 3]]))
+    assert out.shape == (2, 2, 4)
+    np.testing.assert_array_equal(out.data[0, 1], 0.0)
+
+
+def test_layernorm_statistics(rng):
+    norm = nn.LayerNorm(16)
+    x = Tensor(rng.normal(size=(4, 16)) * 5 + 3)
+    out = norm(x).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_layernorm_grad(rng):
+    norm = nn.LayerNorm(5)
+    x = rng.normal(size=(2, 5))
+    check_grad(lambda t: (norm(t) ** 2.0).sum(), x, atol=1e-4)
+
+
+def test_feedforward_shapes(rng):
+    ffn = nn.FeedForward(8, 16)
+    out = ffn(Tensor(rng.normal(size=(2, 3, 8))))
+    assert out.shape == (2, 3, 8)
+
+
+def test_mha_shapes_and_grad(rng):
+    attn = nn.MultiHeadAttention(8, 2)
+    x = rng.normal(size=(2, 4, 8))
+    out = attn(Tensor(x))
+    assert out.shape == (2, 4, 8)
+    check_grad(lambda t: (attn(t) ** 2.0).sum(), x, atol=1e-4)
+
+
+def test_mha_rejects_indivisible_heads():
+    with pytest.raises(ValueError):
+        nn.MultiHeadAttention(7, 2)
+
+
+def test_causal_mask_blocks_future(rng):
+    """With a causal mask, output at t must not depend on inputs after t."""
+    attn = nn.MultiHeadAttention(8, 2)
+    attn.eval()
+    x = rng.normal(size=(1, 5, 8))
+    mask = nn.causal_mask(5)
+    base = attn(Tensor(x), mask=mask).data.copy()
+    perturbed = x.copy()
+    perturbed[0, 4] += 10.0  # change the last position only
+    out = attn(Tensor(perturbed), mask=mask).data
+    np.testing.assert_allclose(out[0, :4], base[0, :4], atol=1e-10)
+    assert not np.allclose(out[0, 4], base[0, 4])
+
+
+def test_padding_mask_shape():
+    valid = np.array([[1, 1, 0], [1, 0, 0]], dtype=bool)
+    mask = nn.padding_mask(valid)
+    assert mask.shape == (2, 1, 1, 3)
+    assert mask[0, 0, 0, 2] and not mask[0, 0, 0, 0]
+
+
+def test_transformer_block_grad(rng):
+    block = nn.TransformerBlock(8, 2, ffn_dim=16)
+    block.eval()
+    x = rng.normal(size=(1, 3, 8))
+    check_grad(lambda t: (block(t) ** 2.0).sum(), x, atol=1e-3, rtol=1e-3)
+
+
+def test_gru_shapes_and_causality(rng):
+    gru = nn.GRU(6, 8)
+    x = rng.normal(size=(2, 5, 6))
+    out = gru(Tensor(x)).data
+    assert out.shape == (2, 5, 8)
+    perturbed = x.copy()
+    perturbed[:, 4] += 5.0
+    out2 = gru(Tensor(perturbed)).data
+    np.testing.assert_allclose(out2[:, :4], out[:, :4], atol=1e-12)
+
+
+def test_gru_grad(rng):
+    gru = nn.GRU(3, 4)
+    x = rng.normal(size=(1, 3, 3))
+    check_grad(lambda t: (gru(t) ** 2.0).sum(), x, atol=1e-4)
+
+
+def test_causal_conv_shapes_and_causality(rng):
+    conv = nn.CausalConv1d(4, 6, kernel_size=3, dilation=2)
+    x = rng.normal(size=(2, 7, 4))
+    out = conv(Tensor(x)).data
+    assert out.shape == (2, 7, 6)
+    perturbed = x.copy()
+    perturbed[:, 6] += 5.0
+    out2 = conv(Tensor(perturbed)).data
+    np.testing.assert_allclose(out2[:, :6], out[:, :6], atol=1e-12)
+
+
+def test_causal_conv_grad(rng):
+    conv = nn.CausalConv1d(2, 3, kernel_size=2)
+    x = rng.normal(size=(1, 4, 2))
+    check_grad(lambda t: (conv(t) ** 2.0).sum(), x, atol=1e-4)
+
+
+def test_nextitnet_block_residual(rng):
+    block = nn.NextItNetResidualBlock(8, dilation=1)
+    x = rng.normal(size=(1, 6, 8))
+    out = block(Tensor(x))
+    assert out.shape == (1, 6, 8)

@@ -1,0 +1,103 @@
+"""Additional edge-coverage for autograd ops and helper paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.tensor import Tensor, as_tensor
+
+from ..conftest import check_grad
+
+
+def test_log_softmax_grad(rng):
+    x = rng.normal(size=(3, 5))
+    weights = rng.normal(size=(3, 5))
+    check_grad(lambda t: (nn.log_softmax(t) * Tensor(weights)).sum(), x,
+               atol=1e-4)
+
+
+def test_softmax_extreme_logits_stable():
+    x = Tensor(np.array([[1000.0, 0.0, -1000.0]]))
+    out = nn.softmax(x).data
+    assert np.isfinite(out).all()
+    assert out[0, 0] == pytest.approx(1.0)
+
+
+def test_cross_entropy_all_ignored_is_zero(rng):
+    logits = Tensor(rng.normal(size=(2, 3)))
+    loss = nn.cross_entropy(logits, np.array([-1, -1]), ignore_index=-1)
+    assert loss.item() == 0.0
+
+
+def test_take_rows_matches_embedding(rng):
+    matrix = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+    idx = np.array([[0, 5], [2, 2]])
+    np.testing.assert_array_equal(nn.take_rows(matrix, idx).data,
+                                  matrix.data[idx])
+
+
+def test_as_tensor_passthrough():
+    t = Tensor(np.ones(3))
+    assert as_tensor(t) is t
+    assert isinstance(as_tensor(2.0), Tensor)
+
+
+def test_tensor_repr_and_protocol(rng):
+    t = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    assert "requires_grad=True" in repr(t)
+    assert len(t) == 2 and t.ndim == 2 and t.size == 6
+    assert t.detach().requires_grad is False
+
+
+def test_scalar_item_and_zero_grad():
+    t = Tensor(np.array(3.5), requires_grad=True)
+    assert t.item() == 3.5
+    t.grad = np.array(1.0)
+    t.zero_grad()
+    assert t.grad is None
+
+
+def test_backward_accepts_explicit_grad(rng):
+    t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+    out = t * 2.0
+    out.backward(np.array([1.0, 0.0, -1.0]))
+    np.testing.assert_allclose(t.grad, [2.0, 0.0, -2.0])
+
+
+def test_pow_rejects_tensor_exponent():
+    t = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(TypeError):
+        t ** Tensor(np.ones(3))
+
+
+def test_rsub_and_rdiv(rng):
+    x = rng.normal(size=(4,)) + 3.0
+    check_grad(lambda t: (5.0 - t).sum(), x)
+    check_grad(lambda t: (5.0 / t).sum(), x)
+
+
+def test_mean_multi_axis(rng):
+    x = rng.normal(size=(2, 3, 4))
+    out = Tensor(x).mean(axis=(0, 2))
+    np.testing.assert_allclose(out.data, x.mean(axis=(0, 2)))
+
+
+def test_max_keepdims(rng):
+    x = rng.normal(size=(2, 5))
+    out = Tensor(x).max(axis=1, keepdims=True)
+    assert out.shape == (2, 1)
+
+
+def test_max_with_ties_splits_gradient():
+    x = np.array([[1.0, 1.0, 0.0]])
+    t = Tensor(x, requires_grad=True)
+    t.max(axis=1).sum().backward()
+    np.testing.assert_allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+
+def test_info_nce_all_rows_empty_returns_zero(rng):
+    scores = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    loss = nn.info_nce(scores, np.zeros((2, 3), dtype=bool))
+    assert loss.item() == 0.0

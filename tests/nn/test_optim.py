@@ -1,0 +1,96 @@
+"""Optimizers, clipping and schedules: convergence and semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.tensor import Parameter, Tensor
+
+
+def _quadratic_loss(param: Parameter, target: np.ndarray):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+@pytest.mark.parametrize("make_opt", [
+    lambda ps: nn.SGD(ps, lr=0.1),
+    lambda ps: nn.SGD(ps, lr=0.05, momentum=0.9),
+    lambda ps: nn.Adam(ps, lr=0.2),
+    lambda ps: nn.AdamW(ps, lr=0.2, weight_decay=0.0),
+])
+def test_optimizers_minimize_quadratic(make_opt):
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+    opt = make_opt([param])
+    for _ in range(200):
+        opt.zero_grad()
+        loss = _quadratic_loss(param, target)
+        loss.backward()
+        opt.step()
+    np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+
+def test_adamw_decay_shrinks_weights():
+    param = Parameter(np.full(4, 10.0))
+    opt = nn.AdamW([param], lr=0.1, weight_decay=0.5)
+    for _ in range(20):
+        opt.zero_grad()
+        (param * 0.0).sum().backward()
+        opt.step()
+    assert np.all(np.abs(param.data) < 10.0)
+
+
+def test_adam_coupled_vs_adamw_decoupled_differ():
+    p1 = Parameter(np.full(3, 5.0))
+    p2 = Parameter(np.full(3, 5.0))
+    a = nn.Adam([p1], lr=0.1, weight_decay=0.1)
+    w = nn.AdamW([p2], lr=0.1, weight_decay=0.1)
+    for opt, p in ((a, p1), (w, p2)):
+        opt.zero_grad()
+        (p * Tensor(np.array([1.0, 2.0, 3.0]))).sum().backward()
+        opt.step()
+    assert not np.allclose(p1.data, p2.data)
+
+
+def test_empty_parameter_list_raises():
+    with pytest.raises(ValueError):
+        nn.SGD([], lr=0.1)
+
+
+def test_clip_grad_norm_scales():
+    p = Parameter(np.zeros(4))
+    p.grad = np.full(4, 3.0)
+    norm = nn.clip_grad_norm([p], max_norm=1.0)
+    assert norm == pytest.approx(6.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_clip_grad_norm_noop_below_threshold():
+    p = Parameter(np.zeros(4))
+    p.grad = np.full(4, 0.1)
+    before = p.grad.copy()
+    nn.clip_grad_norm([p], max_norm=10.0)
+    np.testing.assert_array_equal(p.grad, before)
+
+
+def test_warmup_cosine_schedule_shape():
+    p = Parameter(np.zeros(1))
+    opt = nn.Adam([p], lr=1.0)
+    sched = nn.WarmupCosineSchedule(opt, warmup_steps=10, total_steps=100)
+    lrs = []
+    for _ in range(100):
+        sched.step()
+        lrs.append(opt.lr)
+    assert lrs[4] == pytest.approx(0.5)     # mid-warmup
+    assert lrs[9] == pytest.approx(1.0)     # warmup end
+    assert lrs[-1] == pytest.approx(0.0, abs=1e-6)  # decayed to min
+    assert max(lrs) <= 1.0 + 1e-9
+
+
+def test_warmup_cosine_rejects_bad_total():
+    p = Parameter(np.zeros(1))
+    opt = nn.Adam([p], lr=1.0)
+    with pytest.raises(ValueError):
+        nn.WarmupCosineSchedule(opt, warmup_steps=0, total_steps=0)

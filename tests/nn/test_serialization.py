@@ -1,0 +1,61 @@
+"""Checkpoint save/load and component-wise state filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+
+
+class _Net(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.encoder = nn.Linear(4, 4)
+        self.head = nn.Linear(4, 2)
+
+    def forward(self, x):
+        return self.head(self.encoder(x).relu())
+
+
+def test_checkpoint_roundtrip(tmp_path, rng):
+    model = _Net()
+    model.encoder.weight.data = rng.normal(size=(4, 4))
+    path = str(tmp_path / "ckpt.npz")
+    nn.save_checkpoint(model, path)
+    state = nn.load_checkpoint(path)
+    fresh = _Net()
+    fresh.load_state_dict(state)
+    np.testing.assert_array_equal(fresh.encoder.weight.data,
+                                  model.encoder.weight.data)
+
+
+def test_load_checkpoint_adds_extension(tmp_path):
+    model = _Net()
+    path = str(tmp_path / "ckpt.npz")
+    nn.save_checkpoint(model, path)
+    state = nn.load_checkpoint(str(tmp_path / "ckpt"))
+    assert "encoder.weight" in state
+
+
+def test_filter_and_strip_prefix(tmp_path):
+    model = _Net()
+    state = model.state_dict()
+    enc = nn.filter_state(state, ("encoder.",))
+    assert set(enc) == {"encoder.weight", "encoder.bias"}
+    stripped = nn.strip_prefix(enc, "encoder.")
+    assert set(stripped) == {"weight", "bias"}
+    # Loading the stripped state into a bare Linear must work.
+    layer = nn.Linear(4, 4)
+    layer.load_state_dict(stripped)
+    np.testing.assert_array_equal(layer.weight.data, model.encoder.weight.data)
+
+
+def test_partial_transfer_between_models():
+    """Transferring only the encoder leaves the head untouched (Sec. III-E)."""
+    source, target = _Net(), _Net()
+    head_before = target.head.weight.data.copy()
+    enc_state = nn.filter_state(source.state_dict(), ("encoder.",))
+    target.load_state_dict(enc_state, strict=False)
+    np.testing.assert_array_equal(target.encoder.weight.data,
+                                  source.encoder.weight.data)
+    np.testing.assert_array_equal(target.head.weight.data, head_before)

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--profile", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out and "kwai_food" in out
+
+
+def test_train_command_baseline(capsys, tmp_path):
+    ckpt = str(tmp_path / "model.npz")
+    code = main(["train", "--dataset", "kwai_food", "--model", "sasrec",
+                 "--profile", "smoke", "--epochs", "2", "--save", ckpt])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "test:" in out
+    assert (tmp_path / "model.npz").exists()
+
+
+def test_train_command_pmmrec_text(capsys):
+    code = main(["train", "--dataset", "kwai_food", "--model",
+                 "pmmrec-text", "--profile", "smoke", "--epochs", "1"])
+    assert code == 0
+    assert "best val" in capsys.readouterr().out
+
+
+def test_experiment_command_unknown(capsys):
+    assert main(["experiment", "tableX"]) == 2
+
+
+def test_experiment_command_table1(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_transfer_command(capsys):
+    code = main(["transfer", "--sources", "kwai", "--target", "kwai_food",
+                 "--profile", "smoke", "--pretrain-epochs", "1",
+                 "--finetune-epochs", "1", "--setting", "text_only"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pre-training on kwai" in out
+    assert "[text_only]" in out

@@ -1,0 +1,78 @@
+"""End-to-end integration: the full paper workflow at miniature scale.
+
+One test walks the entire pipeline — build multi-platform data, pre-train
+PMMRec with the multi-task objective, transfer components to a downstream
+platform, fine-tune with DAP only, and verify the transfer actually moved
+information (pre-trained fine-tuning starts above from-scratch training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (PMMRec, PMMRecConfig, TrainConfig, Trainer,
+                   build_dataset, fuse_datasets, transferred_model)
+from repro.eval import evaluate_model
+
+
+@pytest.fixture(scope="module")
+def pretrained():
+    corpus = fuse_datasets([build_dataset("bili", profile="smoke"),
+                            build_dataset("hm", profile="smoke")])
+    model = PMMRec(PMMRecConfig(seed=7))
+    result = Trainer(model, corpus,
+                     TrainConfig(epochs=6, batch_size=32, patience=6,
+                                 lr=4e-3, seed=7),
+                     pretraining=True).fit()
+    return model, result
+
+
+def test_pretraining_learns(pretrained):
+    _, result = pretrained
+    assert result.best_metric > 0.05
+    assert result.loss_history[-1] < result.loss_history[0]
+
+
+def test_full_transfer_beats_scratch_at_start(pretrained):
+    model, _ = pretrained
+    target = build_dataset("hm_shoes", profile="smoke")
+    config = TrainConfig(epochs=3, batch_size=16, patience=4, seed=7)
+
+    transferred = transferred_model(model, "full")
+    warm = Trainer(transferred, target, config, pretraining=False).fit()
+
+    scratch = PMMRec(PMMRecConfig(seed=7))
+    cold = Trainer(scratch, target, config, pretraining=True).fit()
+
+    # The defining transfer signature (paper Fig. 3): a pre-trained model
+    # is already useful within the first epochs.
+    assert warm.curve[0][1] >= cold.curve[0][1]
+    assert warm.best_metric >= cold.best_metric * 0.9
+
+
+def test_single_modality_transfer_works(pretrained):
+    model, _ = pretrained
+    target = build_dataset("hm_shoes", profile="smoke")
+    deployed = transferred_model(model, "text_only")
+    result = Trainer(deployed, target,
+                     TrainConfig(epochs=2, batch_size=16, seed=7),
+                     pretraining=False).fit()
+    metrics = evaluate_model(deployed, target, target.split.test, ks=(10,))
+    assert np.isfinite(metrics["hr@10"])
+    assert metrics["hr@10"] > 0.0
+
+
+def test_transfer_preserves_component_weights(pretrained):
+    model, _ = pretrained
+    deployed = transferred_model(model, "item_encoders")
+    src = model.state_dict()
+    dst = deployed.state_dict()
+    for name in src:
+        if name.startswith(("text_encoder.", "vision_encoder.", "fusion.")):
+            np.testing.assert_array_equal(src[name], dst[name])
+    # The user encoder must be fresh (different init seed path is fine,
+    # but identical-to-source would mean we transferred too much).
+    same = all(np.array_equal(src[n], dst[n]) for n in src
+               if n.startswith("user_encoder."))
+    assert not same

@@ -1,0 +1,131 @@
+"""Tokenizer and text encoder (MiniRoBERTa)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TEXT_CLS, TEXT_PAD, build_dataset, get_world, text_vocab_size
+from repro.text import (MiniRoBERTa, TextEncoderConfig, Tokenizer,
+                        pretrained_text_encoder)
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return Tokenizer()
+
+
+def test_vocab_layout(tokenizer):
+    assert tokenizer.decode(np.array([TEXT_PAD])) == []
+    assert tokenizer.decode(np.array([TEXT_CLS])) == ["<cls>"]
+    assert tokenizer.vocab_size == text_vocab_size()
+
+
+def test_decode_names_are_meaningful(tokenizer):
+    words = tokenizer.decode(np.array([2, 3]))
+    assert words == ["w0", "w1"]
+    tag = tokenizer.decode(np.array([tokenizer.vocab_size - 1]))
+    assert tag[0].startswith("tag:")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(2, 100), min_size=1, max_size=10))
+def test_encode_decode_roundtrip(ids):
+    tokenizer = Tokenizer()
+    words = tokenizer.decode(np.array(ids))
+    back = tokenizer.encode(words)
+    np.testing.assert_array_equal(back, ids)
+
+
+def test_encode_pads_to_max_len(tokenizer):
+    out = tokenizer.encode(["w0", "w1"], max_len=5)
+    np.testing.assert_array_equal(out, [2, 3, 0, 0, 0])
+
+
+def test_with_cls_and_mask(tokenizer):
+    ids = np.array([[5, 6, 0], [7, 0, 0]])
+    with_cls = tokenizer.with_cls(ids)
+    assert with_cls.shape == (2, 4)
+    assert (with_cls[:, 0] == TEXT_CLS).all()
+    mask = tokenizer.attention_mask(with_cls)
+    np.testing.assert_array_equal(mask[1], [True, True, False, False])
+
+
+def test_text_encoder_shapes():
+    config = TextEncoderConfig(vocab_size=text_vocab_size(), dim=16,
+                               num_blocks=1, num_heads=2)
+    encoder = MiniRoBERTa(config)
+    tokens = np.array([[5, 6, 7, 0, 0], [8, 9, 0, 0, 0]])
+    cls, hidden, mask = encoder(tokens)
+    assert cls.shape == (2, 16)
+    assert hidden.shape == (2, 6, 16)     # +1 for CLS
+    assert mask.shape == (2, 6)
+    assert mask[0].sum() == 4 and mask[1].sum() == 3
+
+
+def test_text_encoder_ignores_padding():
+    """CLS output must not change when padding content changes."""
+    config = TextEncoderConfig(vocab_size=text_vocab_size(), dim=16,
+                               num_blocks=2, num_heads=2, dropout=0.0)
+    encoder = MiniRoBERTa(config)
+    encoder.eval()
+    a = np.array([[5, 6, 0, 0]])
+    cls_a, _, _ = encoder(a)
+    # Same tokens, shorter pad tail: representations must agree.
+    b = np.array([[5, 6, 0, 0, 0, 0]])
+    cls_b, _, _ = encoder(b)
+    np.testing.assert_allclose(cls_a.data, cls_b.data, atol=1e-10)
+
+
+def test_pretrained_encoder_deterministic():
+    world = get_world()
+    a = pretrained_text_encoder(world, dim=16, seed=3)
+    b = pretrained_text_encoder(world, dim=16, seed=3)
+    np.testing.assert_array_equal(a.token_emb.weight.data,
+                                  b.token_emb.weight.data)
+    c = pretrained_text_encoder(world, dim=16, seed=4)
+    assert not np.array_equal(a.token_emb.weight.data,
+                              c.token_emb.weight.data)
+
+
+def test_pretrained_features_reflect_semantics():
+    """Pooled token embeddings must mirror the latent similarity structure.
+
+    This is the designed property of the synthetic pre-training: the text
+    of similar items (in the text-view subspace of the latent) uses similar
+    tokens, so pooled embeddings correlate with latent geometry. Tested via
+    representational similarity (correlation of pairwise-sim matrices).
+    """
+    world = get_world()
+    encoder = pretrained_text_encoder(world, dim=32)
+    ds = build_dataset("bili", profile="smoke")
+    ids = np.arange(1, min(ds.num_items, 120) + 1)
+    tokens = ds.text_tokens[ids]
+    mask = (tokens != 0).astype(float)
+    table = encoder.token_emb.weight.data
+    pooled = ((table[tokens] * mask[:, :, None]).sum(axis=1)
+              / mask.sum(axis=1, keepdims=True))
+
+    def pairwise(f):
+        f = f - f.mean(axis=0)
+        f = f / (np.linalg.norm(f, axis=1, keepdims=True) + 1e-12)
+        sims = f @ f.T
+        return sims[~np.eye(len(f), dtype=bool)]
+
+    latents = ds.item_latents[ids] * world.text_view
+    corr = np.corrcoef(pairwise(pooled), pairwise(latents))[0, 1]
+    assert corr > 0.3
+
+
+def test_finetune_depth_freezes_lower_blocks():
+    world = get_world()
+    encoder = pretrained_text_encoder(world, dim=16, num_blocks=2)
+    encoder.set_finetune_depth(1)
+    frozen = [p for p in encoder.token_emb.parameters()]
+    assert all(not p.requires_grad for p in frozen)
+    top_block = list(encoder.blocks)[-1]
+    assert all(p.requires_grad for p in top_block.parameters())
+    bottom_block = list(encoder.blocks)[0]
+    assert all(not p.requires_grad for p in bottom_block.parameters())

@@ -1,0 +1,94 @@
+"""The model-agnostic trainer: learning, early stopping, state restore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SASRec
+from repro.core import PMMRec, PMMRecConfig
+from repro.data import build_dataset
+from repro.eval import evaluate_model
+from repro.train import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("kwai_food", profile="smoke")
+
+
+def test_training_improves_over_untrained():
+    # Use a dataset with enough items that HR@10 has headroom.
+    ds = build_dataset("bili", profile="smoke")
+    model = SASRec(ds.num_items, dim=16, seed=0)
+    before = evaluate_model(model, ds, ds.split.valid,
+                            ks=(10,))["ndcg@10"]
+    result = Trainer(model, ds,
+                     TrainConfig(epochs=8, batch_size=16, patience=8,
+                                 metric="ndcg@10"),
+                     pretraining=False).fit()
+    assert result.best_metric > before
+    assert len(result.loss_history) == result.epochs_run
+    # Losses should broadly decrease.
+    assert result.loss_history[-1] < result.loss_history[0]
+
+
+def test_early_stopping_stops(dataset):
+    model = SASRec(dataset.num_items, dim=16, seed=0)
+    config = TrainConfig(epochs=50, batch_size=16, patience=2)
+    result = Trainer(model, dataset, config, pretraining=False).fit()
+    assert result.epochs_run < 50
+
+
+def test_best_state_restored(dataset):
+    """After fit(), the model must be at its best-validation state."""
+    model = SASRec(dataset.num_items, dim=16, seed=0)
+    config = TrainConfig(epochs=12, batch_size=16, patience=3)
+    result = Trainer(model, dataset, config, pretraining=False).fit()
+    metric = evaluate_model(model, dataset, dataset.split.valid,
+                            ks=(10,))["hr@10"]
+    assert metric == pytest.approx(result.best_metric, abs=1e-9)
+
+
+def test_curve_records_every_eval(dataset):
+    model = SASRec(dataset.num_items, dim=16, seed=0)
+    config = TrainConfig(epochs=6, batch_size=16, patience=10, eval_every=2)
+    result = Trainer(model, dataset, config, pretraining=False).fit()
+    epochs = [e for e, _ in result.curve]
+    assert epochs == [2, 4, 6]
+
+
+def test_trainer_works_with_pmmrec_multitask(dataset):
+    model = PMMRec(PMMRecConfig(dim=32, seed=0))
+    config = TrainConfig(epochs=2, batch_size=16, patience=5)
+    result = Trainer(model, dataset, config, pretraining=True).fit()
+    assert result.epochs_run == 2
+    assert np.isfinite(result.best_metric)
+
+
+def test_trainer_skips_frozen_parameters(dataset):
+    model = PMMRec(PMMRecConfig(dim=32, seed=0))
+    trainer = Trainer(model, dataset, TrainConfig(epochs=1, batch_size=16),
+                      pretraining=True)
+    trainable = {id(p) for p in trainer.optimizer.parameters}
+    frozen = [p for p in model.parameters() if not p.requires_grad]
+    assert frozen, "expected frozen lower encoder blocks"
+    assert all(id(p) not in trainable for p in frozen)
+
+
+def test_warmup_cosine_schedule_integration(dataset):
+    model = SASRec(dataset.num_items, dim=16, seed=0)
+    config = TrainConfig(epochs=4, batch_size=16, patience=10,
+                         warmup_frac=0.25, lr=1.0)
+    trainer = Trainer(model, dataset, config, pretraining=False)
+    assert trainer.schedule is not None
+    trainer.fit()
+    # After full training the cosine decay must have reduced the LR.
+    assert trainer.optimizer.lr < 1.0
+
+
+def test_no_schedule_by_default(dataset):
+    model = SASRec(dataset.num_items, dim=16, seed=0)
+    trainer = Trainer(model, dataset, TrainConfig(epochs=1, batch_size=16),
+                      pretraining=False)
+    assert trainer.schedule is None

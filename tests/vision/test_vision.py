@@ -1,0 +1,100 @@
+"""Patchification and the vision encoder (MiniViT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import build_dataset, get_world
+from repro.vision import (MiniViT, VisionEncoderConfig, num_patches,
+                          patch_dim, patchify, pretrained_vision_encoder)
+
+
+def test_patchify_shapes(rng):
+    images = rng.normal(size=(3, 16, 16, 3))
+    patches = patchify(images, patch_size=4)
+    assert patches.shape == (3, 16, 48)
+
+
+def test_patchify_blocks_are_spatially_correct(rng):
+    images = rng.normal(size=(1, 8, 8, 1))
+    patches = patchify(images, patch_size=4)
+    # First patch is the top-left 4x4 block, row-major.
+    np.testing.assert_array_equal(
+        patches[0, 0].reshape(4, 4), images[0, :4, :4, 0])
+    # Second patch is the top-right block.
+    np.testing.assert_array_equal(
+        patches[0, 1].reshape(4, 4), images[0, :4, 4:, 0])
+
+
+def test_patchify_roundtrip_preserves_values(rng):
+    images = rng.normal(size=(2, 8, 8, 3))
+    patches = patchify(images, patch_size=2)
+    assert patches.sum() == pytest.approx(images.sum())
+
+
+def test_patchify_validation(rng):
+    with pytest.raises(ValueError):
+        patchify(rng.normal(size=(1, 15, 15, 3)), patch_size=4)
+    with pytest.raises(ValueError):
+        patchify(rng.normal(size=(1, 16, 8, 3)), patch_size=4)
+    with pytest.raises(ValueError):
+        num_patches(15, 4)
+
+
+def test_patch_helpers():
+    assert num_patches(16, 4) == 16
+    assert patch_dim(4) == 48
+
+
+def test_vit_shapes(rng):
+    config = VisionEncoderConfig(image_size=16, patch_size=4, dim=16,
+                                 num_blocks=1, num_heads=2)
+    vit = MiniViT(config)
+    cls, hidden = vit(rng.normal(size=(2, 16, 16, 3)))
+    assert cls.shape == (2, 16)
+    assert hidden.shape == (2, 17, 16)
+
+
+def test_pretrained_vit_deterministic():
+    world = get_world()
+    a = pretrained_vision_encoder(world, dim=16, seed=9)
+    b = pretrained_vision_encoder(world, dim=16, seed=9)
+    np.testing.assert_array_equal(a.patch_proj.weight.data,
+                                  b.patch_proj.weight.data)
+
+
+def test_pretrained_vit_features_reflect_semantics():
+    """Pooled patch projections of clean images must separate topics.
+
+    The pre-trained patch projection approximately inverts the world's
+    pixel decoder, so on the low-clutter HM platform mean-pooled patch
+    features should cluster by topic (after removing the anisotropic
+    common direction, as with any frozen feature space).
+    """
+    import repro.nn as nn
+    from repro.nn.tensor import Tensor
+    world = get_world()
+    vit = pretrained_vision_encoder(world, dim=32)
+    ds = build_dataset("hm", profile="smoke")      # low clutter
+    ids = np.arange(1, min(ds.num_items, 120) + 1)
+    with nn.no_grad():
+        patches = patchify(ds.images_for(ids), vit.config.patch_size)
+        feats = vit.patch_proj(Tensor(patches)).data.mean(axis=1)
+    feats = feats - feats.mean(axis=0)
+    feats = feats / (np.linalg.norm(feats, axis=1, keepdims=True) + 1e-12)
+    sims = feats @ feats.T
+    topics = ds.item_topics[ids]
+    same = topics[:, None] == topics[None, :]
+    off_diag = ~np.eye(len(ids), dtype=bool)
+    assert sims[same & off_diag].mean() > sims[~same].mean() + 0.05
+
+
+def test_vit_finetune_depth():
+    world = get_world()
+    vit = pretrained_vision_encoder(world, dim=16, num_blocks=2)
+    vit.set_finetune_depth(1)
+    assert not vit.patch_proj.weight.requires_grad
+    assert all(p.requires_grad for p in list(vit.blocks)[-1].parameters())
