@@ -8,11 +8,15 @@ headline behaviour is to those choices.
 
 import numpy as np
 
+import pytest
+
 from repro.data import get_profile
 from repro.experiments.formatting import format_table, pct
 from repro.experiments.runner import run_cells
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 DATASET = "bili_movie"
 TEMPERATURES = (0.05, 0.2, 1.0)

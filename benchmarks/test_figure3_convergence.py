@@ -2,10 +2,14 @@
 
 import numpy as np
 
+import pytest
+
 from repro.data import downstream_names
 from repro.experiments import figure3_convergence as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_figure3_convergence(benchmark):

@@ -1,8 +1,12 @@
 """Bench: Table I — supported transfer settings."""
 
+import pytest
+
 from repro.experiments import table1_capabilities as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_table1_capabilities(benchmark):

@@ -1,9 +1,13 @@
 """Bench: Table II — dataset statistics after preprocessing."""
 
+import pytest
+
 from repro.data import downstream_names, source_names
 from repro.experiments import table2_datasets as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_table2_datasets(benchmark):

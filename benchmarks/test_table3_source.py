@@ -2,10 +2,14 @@
 
 import numpy as np
 
+import pytest
+
 from repro.data import source_names
 from repro.experiments import table3_source as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def _mean_over_sources(table, method, metric="hr@10"):

@@ -2,10 +2,14 @@
 
 import numpy as np
 
+import pytest
+
 from repro.data import downstream_names
 from repro.experiments import table4_transfer as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def _mean(table, label, metric="hr@10"):

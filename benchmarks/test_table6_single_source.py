@@ -2,10 +2,14 @@
 
 import numpy as np
 
+import pytest
+
 from repro.data import downstream_names, source_names
 from repro.experiments import table6_single_source as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_table6_single_source(benchmark):

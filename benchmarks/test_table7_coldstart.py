@@ -2,10 +2,14 @@
 
 import numpy as np
 
+import pytest
+
 from repro.data import source_names
 from repro.experiments import table7_coldstart as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def _mean(table, method, metric="hr@10"):

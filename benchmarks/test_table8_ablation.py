@@ -2,9 +2,13 @@
 
 import numpy as np
 
+import pytest
+
 from repro.experiments import table8_ablation as mod
 
 from .conftest import emit, run_once
+
+pytestmark = pytest.mark.slow
 
 
 def _mean(table, label, metric="ndcg@10"):

@@ -109,7 +109,8 @@ class SequentialRecommender(nn.Module):
         """DAP objective with in-batch negatives (identical to Eq. 5)."""
         unique_ids, inverse, owner = batch_structure(item_ids, mask)
         reps = self.item_representations(dataset, unique_ids)
-        mask_f = Tensor(np.asarray(mask, dtype=np.float64)[:, :, None])
+        mask_f = Tensor._wrap(np.asarray(
+            mask, dtype=reps.data.dtype)[:, :, None])
         seq_reps = take_rows(reps, inverse) * mask_f
         hidden = self.sequence_hidden(seq_reps, mask)
         loss = dap_loss(hidden, reps, inverse, mask, owner)
@@ -120,7 +121,8 @@ class SequentialRecommender(nn.Module):
         """Representation matrix for all items, row 0 = padding."""
         was_training = self.training
         self.eval()
-        out = np.zeros((dataset.num_items + 1, self.dim))
+        out = np.zeros((dataset.num_items + 1, self.dim),
+                       dtype=self.param_dtype)
         with nn.no_grad():
             for start in range(1, dataset.num_items + 1, chunk_size):
                 ids = np.arange(start, min(start + chunk_size,
@@ -141,7 +143,8 @@ class SequentialRecommender(nn.Module):
         was_training = self.training
         self.eval()
         with nn.no_grad():
-            reps = Tensor(catalog[batch.item_ids] * batch.mask[:, :, None])
+            reps = Tensor._wrap(catalog[batch.item_ids]
+                                * batch.mask[:, :, None])
             hidden = self.sequence_hidden(reps, batch.mask).data
         self.train(was_training)
         last = batch.mask.sum(axis=1) - 1

@@ -46,8 +46,13 @@ class CARCAPlusPlus(SequentialRecommender):
 
     def _features(self, dataset: SeqDataset) -> tuple[np.ndarray, np.ndarray]:
         if self._table_key != dataset.name:
-            self._tables = (frozen_text_features(dataset, dim=self.dim),
-                            frozen_vision_features(dataset, dim=self.dim))
+            # Cast once at cache time so per-batch gathers stay copy-free.
+            dtype = self.param_dtype
+            self._tables = (
+                frozen_text_features(dataset, dim=self.dim)
+                .astype(dtype, copy=False),
+                frozen_vision_features(dataset, dim=self.dim)
+                .astype(dtype, copy=False))
             self._table_key = dataset.name
         return self._tables
 

@@ -45,7 +45,9 @@ class FDSA(SequentialRecommender):
 
     def _features(self, dataset: SeqDataset) -> np.ndarray:
         if self._feature_key != dataset.name:
-            self._feature_table = frozen_text_features(dataset, dim=self.dim)
+            # Cast once at cache time so per-batch gathers stay copy-free.
+            self._feature_table = frozen_text_features(dataset, dim=self.dim) \
+                .astype(self.param_dtype, copy=False)
             self._feature_key = dataset.name
         return self._feature_table
 

@@ -63,7 +63,8 @@ class UniSRec(SequentialRecommender):
                              item_ids: np.ndarray) -> Tensor:
         """Whitened mixture-of-experts map of frozen text features."""
         features = frozen_text_features(dataset, dim=self.dim)
-        return self.adaptor(Tensor(features[np.asarray(item_ids)]))
+        return self.adaptor(Tensor(features[np.asarray(item_ids)],
+                                   dtype=self.param_dtype))
 
     def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
         """Causal Transformer over the adapted item features."""

@@ -38,6 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=20)
     train.add_argument("--batch-size", type=int, default=24)
     train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--dtype", default=None, choices=["float32", "float64"],
+                       help="run the whole train/eval cycle at this "
+                            "precision (default float64)")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save", default=None,
                        help="write a checkpoint to this path (npz)")
@@ -88,7 +91,8 @@ def _cmd_train(args) -> int:
     dataset = build_dataset(args.dataset, profile=args.profile)
     model = _make_model(args.model, dataset, args.seed)
     config = TrainConfig(epochs=args.epochs, batch_size=args.batch_size,
-                         lr=args.lr, seed=args.seed, verbose=True)
+                         lr=args.lr, dtype=args.dtype, seed=args.seed,
+                         verbose=True)
     multitask = args.model.startswith("pmmrec")
     result = Trainer(model, dataset, config, pretraining=multitask).fit()
     metrics = evaluate_model(model, dataset, dataset.split.test,

@@ -59,7 +59,8 @@ class RatingHead(nn.Module):
              ratings: np.ndarray) -> Tensor:
         """Mean squared error against observed ratings."""
         predictions = self(user_state, item_reps)
-        diff = predictions - Tensor(np.asarray(ratings, dtype=np.float64))
+        diff = predictions - Tensor(
+            np.asarray(ratings, dtype=predictions.data.dtype))
         return (diff * diff).mean()
 
 

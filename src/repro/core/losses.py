@@ -60,7 +60,7 @@ def dap_loss(hidden: Tensor, item_reps: Tensor, inverse: np.ndarray,
     """
     users, steps = _anchor_positions(mask)
     if len(users) == 0:
-        return Tensor(0.0)
+        return Tensor(0.0, dtype=hidden.data.dtype)
     anchors = hidden[(users, steps)]                    # (R, d)
     scores = anchors @ item_reps.swapaxes(0, 1)         # (R, U)
     targets = inverse[users, steps + 1]
@@ -89,10 +89,10 @@ def alignment_loss(t_cls: Tensor, v_cls: Tensor, inverse: np.ndarray,
     * ``nicl`` — next-item positives *and* intra-modality negatives.
     """
     if variant == "none":
-        return Tensor(0.0)
+        return Tensor(0.0, dtype=t_cls.data.dtype)
     users, steps = _anchor_positions(mask)
     if len(users) == 0:
-        return Tensor(0.0)
+        return Tensor(0.0, dtype=t_cls.data.dtype)
     anchor_idx = inverse[users, steps]
     next_idx = inverse[users, steps + 1]
     rows = np.arange(len(users))
@@ -143,9 +143,9 @@ def nid_loss(corrupt_hidden: Tensor, classifier, labels: np.ndarray,
 
 def masked_mean_pool(hidden: Tensor, mask: np.ndarray) -> Tensor:
     """Mean over valid positions of a ``(B, L, d)`` tensor."""
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask, dtype=hidden.data.dtype)
     weights = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
-    return (hidden * Tensor(weights[:, :, None])).sum(axis=1)
+    return (hidden * Tensor._wrap(weights[:, :, None])).sum(axis=1)
 
 
 def rcl_loss(hidden: Tensor, corrupt_hidden: Tensor,

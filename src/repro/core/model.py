@@ -106,7 +106,8 @@ class PMMRec(nn.Module):
         """
         was_training = self.training
         self.eval()
-        out = np.zeros((dataset.num_items + 1, self.config.dim))
+        out = np.zeros((dataset.num_items + 1, self.config.dim),
+                       dtype=self.param_dtype)
         with nn.no_grad():
             for start in range(1, dataset.num_items + 1, chunk_size):
                 ids = np.arange(start, min(start + chunk_size,
@@ -137,8 +138,8 @@ class PMMRec(nn.Module):
         was_training = self.training
         self.eval()
         with nn.no_grad():
-            reps = Tensor(catalog[batch.item_ids]
-                          * batch.mask[:, :, None])
+            reps = Tensor._wrap(catalog[batch.item_ids]
+                                * batch.mask[:, :, None])
             hidden = self.sequence_hidden(reps, batch.mask).data
         self.train(was_training)
         last = batch.mask.sum(axis=1) - 1
@@ -158,7 +159,8 @@ class PMMRec(nn.Module):
         cfg = self.config
         unique_ids, inverse, owner = batch_structure(item_ids, mask)
         encodings = self.encode_items(dataset, unique_ids)
-        mask_f = Tensor(np.asarray(mask, dtype=np.float64)[:, :, None])
+        mask_f = Tensor._wrap(np.asarray(
+            mask, dtype=encodings.sequence.data.dtype)[:, :, None])
         seq_reps = take_rows(encodings.sequence, inverse) * mask_f
         hidden = self.sequence_hidden(seq_reps, mask)
 

@@ -45,6 +45,10 @@ class UserEncoder(nn.Module):
         if length > self.max_len:
             raise ValueError(f"sequence length {length} exceeds max_len "
                              f"{self.max_len}")
+        if item_reps.data.dtype != self.param_dtype:
+            # Mixed-precision guard: a float64 catalogue scored against a
+            # float32 encoder (or vice versa) adopts the module's dtype.
+            item_reps = item_reps.astype(self.param_dtype)
         positions = np.broadcast_to(np.arange(length), (batch, length))
         x = item_reps + self.pos_emb(positions)
         x = self.drop(self.norm(x))

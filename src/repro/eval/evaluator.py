@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..data.splits import EvalExample
+from ..nn.tensor import no_grad
 from .metrics import DEFAULT_KS, metrics_from_ranks, rank_of_target
 
 __all__ = ["evaluate_ranking", "evaluate_model"]
@@ -25,11 +26,14 @@ def evaluate_ranking(score_fn: ScoreFn, examples: Sequence[EvalExample],
     if not examples:
         return {f"{m}@{k}": 0.0 for k in ks for m in ("hr", "ndcg")}
     all_ranks: list[np.ndarray] = []
-    for start in range(0, len(examples), batch_size):
-        chunk = examples[start:start + batch_size]
-        scores = score_fn([ex.history for ex in chunk])
-        targets = np.array([ex.target for ex in chunk])
-        all_ranks.append(rank_of_target(scores, targets))
+    # Score under no_grad so every model goes through the substrate's
+    # closure-free inference fast path, whether or not it guards itself.
+    with no_grad():
+        for start in range(0, len(examples), batch_size):
+            chunk = examples[start:start + batch_size]
+            scores = score_fn([ex.history for ex in chunk])
+            targets = np.array([ex.target for ex in chunk])
+            all_ranks.append(rank_of_target(scores, targets))
     return metrics_from_ranks(np.concatenate(all_ranks), ks=ks)
 
 

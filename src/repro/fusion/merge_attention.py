@@ -59,7 +59,8 @@ class MergeAttentionFusion(nn.Module):
             ``(B, q, d)`` image-patch hiddens (CLS column already removed).
         """
         batch = text_hidden.shape[0]
-        cls = self.mm_cls + Tensor(np.zeros((batch, 1, self.config.dim)))
+        cls = self.mm_cls + Tensor._wrap(
+            np.zeros((batch, 1, self.config.dim), dtype=self.mm_cls.data.dtype))
         token_types = np.concatenate([
             np.zeros((batch, 1), dtype=np.int64),
             np.ones((batch, text_hidden.shape[1]), dtype=np.int64),

@@ -17,11 +17,14 @@ from .optim import (Adam, AdamW, ConstantSchedule, SGD, WarmupCosineSchedule,
 from .recurrent import GRU, GRUCell
 from .serialization import (filter_state, load_checkpoint, save_checkpoint,
                             strip_prefix)
-from .tensor import Parameter, Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
+from .tensor import (Parameter, Tensor, as_tensor, concat, default_dtype,
+                     get_default_dtype, is_grad_enabled, no_grad,
+                     set_default_dtype, stack, where)
 
 __all__ = [
     "Tensor", "Parameter", "as_tensor", "concat", "stack", "where",
     "no_grad", "is_grad_enabled",
+    "default_dtype", "get_default_dtype", "set_default_dtype",
     "Module", "ModuleList", "Sequential", "Identity",
     "Linear", "Embedding", "LayerNorm", "Dropout", "FeedForward",
     "MultiHeadAttention", "TransformerBlock", "causal_mask", "padding_mask",

@@ -41,7 +41,8 @@ class CausalConv1d(Module):
     def forward(self, x: Tensor) -> Tensor:
         batch, length, _ = x.shape
         pad_len = (self.kernel_size - 1) * self.dilation
-        pad = Tensor(np.zeros((batch, pad_len, self.in_channels)))
+        pad = Tensor._wrap(np.zeros((batch, pad_len, self.in_channels),
+                                    dtype=x.data.dtype))
         padded = concat([pad, x], axis=1)
         out = None
         for tap in range(self.kernel_size):

@@ -4,13 +4,20 @@ All initializers accept an optional ``np.random.Generator`` so model
 construction is fully deterministic given a seed — a requirement for the
 experiment harness, which must regenerate the paper's tables bit-for-bit
 across runs.
+
+Initializers draw in float64 (so a given seed produces the same values
+regardless of precision) and cast to ``dtype`` — the ambient default dtype
+unless overridden — on the way out.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["xavier_uniform", "xavier_normal", "normal", "truncated_normal", "default_rng"]
+from .tensor import get_default_dtype
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "truncated_normal",
+           "default_rng"]
 
 _DEFAULT_SEED = 0
 
@@ -22,39 +29,48 @@ def default_rng(rng: np.random.Generator | None) -> np.random.Generator:
     return rng
 
 
+def _cast(values: np.ndarray, dtype) -> np.ndarray:
+    return values.astype(dtype if dtype is not None else get_default_dtype(),
+                         copy=False)
+
+
 def xavier_uniform(shape: tuple[int, ...],
-                   rng: np.random.Generator | None = None) -> np.ndarray:
+                   rng: np.random.Generator | None = None,
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     rng = default_rng(rng)
     fan_in, fan_out = _fans(shape)
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
 def xavier_normal(shape: tuple[int, ...],
-                  rng: np.random.Generator | None = None) -> np.ndarray:
+                  rng: np.random.Generator | None = None,
+                  dtype=None) -> np.ndarray:
     """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
     rng = default_rng(rng)
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
 def normal(shape: tuple[int, ...], std: float = 0.02,
-           rng: np.random.Generator | None = None) -> np.ndarray:
+           rng: np.random.Generator | None = None,
+           dtype=None) -> np.ndarray:
     """Gaussian init, the BERT-style default for embeddings."""
     rng = default_rng(rng)
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
 def truncated_normal(shape: tuple[int, ...], std: float = 0.02,
                      rng: np.random.Generator | None = None,
-                     bound_stds: float = 2.0) -> np.ndarray:
+                     bound_stds: float = 2.0,
+                     dtype=None) -> np.ndarray:
     """Gaussian init truncated at ``bound_stds`` standard deviations."""
     rng = default_rng(rng)
     values = rng.normal(0.0, std, size=shape)
     limit = bound_stds * std
-    return np.clip(values, -limit, limit)
+    return _cast(np.clip(values, -limit, limit), dtype)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -16,7 +16,7 @@ from . import init
 from .ops import dropout as dropout_fn
 from .ops import embedding as embedding_fn
 from .ops import gelu
-from .tensor import Parameter, Tensor
+from .tensor import Parameter, Tensor, get_default_dtype
 
 __all__ = [
     "Module", "ModuleList", "Sequential", "Linear", "Embedding",
@@ -83,6 +83,29 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    # -- dtype ----------------------------------------------------------------
+
+    @property
+    def param_dtype(self) -> np.dtype:
+        """Dtype of this module's parameters (ambient default if it has none)."""
+        for param in self.parameters():
+            return param.data.dtype
+        return get_default_dtype()
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter (and pending gradient) to ``dtype`` in place.
+
+        Call this *before* constructing an optimizer: Adam/SGD snapshot
+        their moment/velocity buffers from the parameter dtype at
+        construction time and will not follow a later cast.
+        """
+        dtype = np.dtype(dtype)
+        for param in self.parameters():
+            param.data = param.data.astype(dtype, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype, copy=False)
+        return self
+
     # -- serialization --------------------------------------------------------------
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -101,7 +124,7 @@ class Module:
                 f"unexpected={sorted(unexpected)}")
         for name, param in own.items():
             if name in state:
-                value = np.asarray(state[name], dtype=np.float64)
+                value = np.asarray(state[name], dtype=param.data.dtype)
                 if value.shape != param.shape:
                     raise ValueError(
                         f"shape mismatch for {name}: "
@@ -165,12 +188,14 @@ class Linear(Module):
     """Affine transform ``x @ W + b``."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None, dtype=None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng), dtype=dtype)
+        self.bias = Parameter(np.zeros(out_features), dtype=dtype) \
+            if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight
@@ -188,7 +213,7 @@ class Embedding(Module):
 
     def __init__(self, num_embeddings: int, dim: int,
                  padding_idx: int | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None, dtype=None):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.dim = dim
@@ -196,7 +221,7 @@ class Embedding(Module):
         table = init.normal((num_embeddings, dim), std=0.02, rng=rng)
         if padding_idx is not None:
             table[padding_idx] = 0.0
-        self.weight = Parameter(table)
+        self.weight = Parameter(table, dtype=dtype)
 
     def forward(self, indices: np.ndarray) -> Tensor:
         return embedding_fn(self.weight, np.asarray(indices))
@@ -205,12 +230,12 @@ class Embedding(Module):
 class LayerNorm(Module):
     """Layer normalization over the last axis."""
 
-    def __init__(self, dim: int, eps: float = 1e-5):
+    def __init__(self, dim: int, eps: float = 1e-5, dtype=None):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim), dtype=dtype)
+        self.beta = Parameter(np.zeros(dim), dtype=dtype)
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)

@@ -4,14 +4,21 @@ These are the composite ops every model in the reproduction relies on:
 numerically-stable softmax / log-softmax, cross-entropy, embedding lookup
 with scatter-add backward, GELU, attention masking helpers and the InfoNCE
 contrastive objective shared by the paper's Eq. 5–11 losses.
+
+All ops are dtype-preserving: constant masks and fill values are cast to
+the dtype of the tensor flowing through, so a float32 graph stays float32
+end to end, and every op takes the closure-free fast path under
+``no_grad``.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from scipy import special
 
-from .tensor import Tensor, as_tensor, where
+from .tensor import Tensor, as_tensor, is_grad_enabled, where
 
 __all__ = [
     "softmax", "log_softmax", "cross_entropy", "embedding", "gelu",
@@ -19,12 +26,14 @@ __all__ = [
 ]
 
 _NEG_INF = -1e9
+_INV_SQRT2 = 1.0 / math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - Tensor._wrap(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -32,7 +41,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - Tensor._wrap(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -57,10 +66,10 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     if ignore_index is not None:
         keep = idx != ignore_index
         if not keep.any():
-            return Tensor(0.0)
+            return Tensor(0.0, dtype=flat.data.dtype)
         safe_idx = np.where(keep, idx, 0)
         picked = flat[np.arange(flat.shape[0]), safe_idx]
-        picked = picked * Tensor(keep.astype(np.float64))
+        picked = picked * Tensor._wrap(keep.astype(flat.data.dtype))
         return -(picked.sum() / float(keep.sum()))
     picked = flat[np.arange(flat.shape[0]), idx]
     return -picked.mean()
@@ -74,6 +83,8 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """
     indices = np.asarray(indices)
     out_data = weight.data[indices]
+    if not (is_grad_enabled() and weight.requires_grad):
+        return Tensor._wrap(out_data)
 
     def backward(g):
         full = np.zeros_like(weight.data)
@@ -81,7 +92,7 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
                   g.reshape(-1, weight.shape[-1]))
         return (full,)
 
-    return Tensor._make(out_data, (weight,), backward)
+    return Tensor._node(out_data, (weight,), backward)
 
 
 def take_rows(matrix: Tensor, row_indices: np.ndarray) -> Tensor:
@@ -92,18 +103,23 @@ def take_rows(matrix: Tensor, row_indices: np.ndarray) -> Tensor:
 def gelu(x: Tensor) -> Tensor:
     """Exact GELU using the Gauss error function."""
     x = as_tensor(x)
-    cdf = 0.5 * (1.0 + special.erf(x.data / np.sqrt(2.0)))
-    pdf = np.exp(-0.5 * x.data ** 2) / np.sqrt(2.0 * np.pi)
+    cdf = 0.5 * (1.0 + special.erf(x.data * _INV_SQRT2))
+    out_data = x.data * cdf
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor._wrap(out_data)
 
     def backward(g):
+        pdf = np.exp(-0.5 * x.data ** 2) * _INV_SQRT_2PI
         return (g * (cdf + x.data * pdf),)
 
-    return Tensor._make(x.data * cdf, (x,), backward)
+    return Tensor._node(out_data, (x,), backward)
 
 
 def masked_fill(x: Tensor, mask: np.ndarray, value: float = _NEG_INF) -> Tensor:
     """Set positions where ``mask`` is True to ``value`` (mask is constant)."""
-    return where(np.asarray(mask, dtype=bool), Tensor(np.full(x.shape, value)), x)
+    x = as_tensor(x)
+    fill = Tensor._wrap(np.full(x.shape, value, dtype=x.data.dtype))
+    return where(np.asarray(mask, dtype=bool), fill, x)
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator,
@@ -111,8 +127,9 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     """Inverted dropout: scales kept activations by ``1/(1-rate)``."""
     if not training or rate <= 0.0:
         return x
-    keep = (rng.random(x.shape) >= rate).astype(np.float64)
-    return x * Tensor(keep / (1.0 - rate))
+    keep = (rng.random(x.shape) >= rate).astype(x.data.dtype)
+    keep /= (1.0 - rate)
+    return x * Tensor._wrap(keep)
 
 
 def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
@@ -148,19 +165,20 @@ def info_nce(scores: Tensor, positive_mask: np.ndarray,
     candidate_mask = np.asarray(candidate_mask, dtype=bool)
     valid_rows = positive_mask.any(axis=1)
     if not valid_rows.any():
-        return Tensor(0.0)
+        return Tensor(0.0, dtype=scores.data.dtype)
+    dtype = scores.data.dtype
 
     # Stabilize with the max over every score that will be exponentiated
     # (candidates and positives); everything else is masked to -inf first.
     union = candidate_mask | positive_mask
     masked = masked_fill(scores, ~union)
-    row_max = Tensor(masked.data.max(axis=1, keepdims=True))
+    row_max = Tensor._wrap(masked.data.max(axis=1, keepdims=True))
     exp = (masked - row_max).exp()
-    denom = (exp * Tensor(candidate_mask.astype(np.float64))).sum(axis=1)
-    numer = (exp * Tensor(positive_mask.astype(np.float64))).sum(axis=1)
+    denom = (exp * Tensor._wrap(candidate_mask.astype(dtype))).sum(axis=1)
+    numer = (exp * Tensor._wrap(positive_mask.astype(dtype))).sum(axis=1)
     # Rows without positives contribute zero loss; pad their log args to 1
     # so that 0 * log(0) never produces a NaN in forward or backward.
-    pad = Tensor((~valid_rows).astype(np.float64))
+    pad = Tensor._wrap((~valid_rows).astype(dtype))
     losses = ((denom + pad).log() - (numer + pad).log())
-    losses = losses * Tensor(valid_rows.astype(np.float64))
+    losses = losses * Tensor._wrap(valid_rows.astype(dtype))
     return losses.sum() / float(valid_rows.sum())

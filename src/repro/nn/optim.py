@@ -29,7 +29,7 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            p.grad *= scale  # in place: backward() owns the grad buffers
     return total
 
 

@@ -54,7 +54,8 @@ class GRU(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         batch, length, _ = x.shape
-        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        h = Tensor._wrap(np.zeros((batch, self.hidden_dim),
+                                  dtype=x.data.dtype))
         outputs = []
         for t in range(length):
             h = self.cell(x[:, t, :], h)

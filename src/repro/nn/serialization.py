@@ -3,6 +3,9 @@
 Checkpoints are plain ``.npz`` archives of the flat ``state_dict`` mapping,
 so transferring a pre-trained component (e.g. only the item encoders, per
 Sec. III-E of the paper) is just loading a filtered sub-dictionary.
+Dtypes round-trip: a float32 module saves float32 arrays and
+``load_checkpoint`` hands them back exactly as stored (the loading
+module's ``load_state_dict`` casts to its own parameter dtype).
 """
 
 from __future__ import annotations

@@ -13,9 +13,18 @@ The engine is deliberately small and explicit:
   gradients.
 * Broadcasting follows numpy semantics; gradients are un-broadcast by
   summing over the broadcast axes.
+* Tensors carry either ``float32`` or ``float64`` payloads. The ambient
+  default for freshly-created tensors is controlled by
+  :func:`default_dtype` / :func:`set_default_dtype`; existing float arrays
+  keep their dtype so mixed-precision graphs are possible but never
+  accidental.
+* Under :func:`no_grad` (or when no input requires grad) operations take a
+  fast path that skips closure and parent bookkeeping entirely instead of
+  building graph state and discarding it.
 
 Gradient correctness for every primitive is property-tested against central
-finite differences in ``tests/nn/test_autograd.py``.
+finite differences in ``tests/nn/test_autograd.py`` and
+``tests/nn/test_autograd_dtypes.py``.
 """
 
 from __future__ import annotations
@@ -25,24 +34,65 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor",
+           "default_dtype", "get_default_dtype", "set_default_dtype"]
 
-_GRAD_ENABLED = [True]
+_GRAD = [True]
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = [np.dtype(np.float64)]
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (inference mode)."""
-    _GRAD_ENABLED.append(False)
+    _GRAD.append(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED.pop()
+        _GRAD.pop()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED[-1]
+    return _GRAD[-1]
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping the dtype of freshly-created tensors.
+
+    ``with default_dtype(np.float32): ...`` makes every tensor or parameter
+    built from non-float data (lists, ints, bools, python scalars) inside
+    the block a ``float32`` tensor. Float arrays keep their own dtype.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise TypeError(f"default dtype must be float32 or float64, got {resolved}")
+    _DEFAULT_DTYPE.append(resolved)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE.pop()
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype currently used for tensors built from non-float data."""
+    return _DEFAULT_DTYPE[-1]
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide base default dtype.
+
+    Writes the bottom of the dtype stack, so any active
+    :func:`default_dtype` context keeps overriding until it exits —
+    after which the new base takes effect (instead of being silently
+    discarded by the context's cleanup).
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise TypeError(f"default dtype must be float32 or float64, got {resolved}")
+    _DEFAULT_DTYPE[0] = resolved
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -66,36 +116,59 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` ndarray unless it
-        already is a float ndarray.
+        Array-like payload. Float32/float64 ndarrays are taken as-is (no
+        copy, dtype preserved); everything else — lists, scalars, int and
+        bool arrays — is converted to the ambient default dtype (see
+        :func:`default_dtype`).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad``.
+    dtype:
+        Explicit dtype override; forces a cast regardless of the payload.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
 
-    def __init__(self, data, requires_grad: bool = False):
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data, dtype=np.float64)
+        if dtype is not None:
+            arr = np.asarray(data, dtype=dtype)
+        elif isinstance(data, np.ndarray) and data.dtype in _FLOAT_DTYPES:
+            arr = data
+        else:
+            # Lists, scalars, int/bool arrays: adopt the ambient default.
+            arr = np.asarray(data, dtype=_DEFAULT_DTYPE[-1])
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
-        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self.requires_grad: bool = bool(requires_grad) and _GRAD[-1]
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
 
     # -- construction helpers -------------------------------------------------
 
-    @staticmethod
-    def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create a graph node from an op result and its backward closure."""
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=False)
-        out.requires_grad = requires
-        if requires:
-            out._parents = tuple(parents)
-            out._backward = backward
+    @classmethod
+    def _wrap(cls, data: np.ndarray) -> "Tensor":
+        """Allocation-lean constructor for op results off the graph.
+
+        Skips all dtype coercion and grad bookkeeping — ``data`` must
+        already be a float ndarray produced by a numpy op.
+        """
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        return out
+
+    @classmethod
+    def _node(cls, data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], tuple]) -> "Tensor":
+        """Create a graph node; the caller has already checked grad is needed."""
+        out = cls._wrap(data)
+        out.requires_grad = True
+        out._parents = tuple(parents)
+        out._backward = backward
         return out
 
     # -- basic protocol --------------------------------------------------------
@@ -112,12 +185,16 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def __len__(self) -> int:
         return len(self.data)
 
     def __repr__(self) -> str:
         flag = ", requires_grad=True" if self.requires_grad else ""
-        return f"Tensor(shape={self.shape}{flag})"
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{flag})"
 
     def numpy(self) -> np.ndarray:
         """Return the underlying ndarray (no copy)."""
@@ -128,10 +205,26 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a view of this tensor cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._wrap(self.data)
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast; the backward pass casts grads back."""
+        dtype = np.dtype(dtype)
+        if dtype == self.data.dtype:
+            return self
+        out_data = self.data.astype(dtype)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
+        a = self
+        return Tensor._node(out_data, (a,),
+                            lambda g: (g.astype(a.data.dtype),))
+
+    def to(self, dtype) -> "Tensor":
+        """Alias of :meth:`astype` (torch-style spelling)."""
+        return self.astype(dtype)
 
     # -- backward --------------------------------------------------------------
 
@@ -147,9 +240,13 @@ class Tensor:
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:
-            grad = np.ones_like(self.data)
+            grad = np.ones(self.data.shape, dtype=self.data.dtype)
+            seed_owned = True
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            supplied = np.asarray(grad)
+            grad = supplied.astype(self.data.dtype, copy=False)
+            # Only treat the seed as ours when the cast actually copied.
+            seed_owned = grad is not supplied
 
         # Topological order over the subgraph reachable from self.
         order: list[Tensor] = []
@@ -168,100 +265,142 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in seen:
                     stack.append((parent, False))
 
+        # ``owned`` tracks buffers this pass allocated itself: those may be
+        # accumulated into with in-place ``+=`` instead of a fresh add.
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = {id(self)} if seed_owned else set()
         for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
+            key = id(node)
+            node_grad = grads.pop(key, None)
             if node_grad is None:
                 continue
+            node_owned = key in owned
+            owned.discard(key)
             if node._backward is None:
-                # Leaf: accumulate into .grad.
+                # Leaf: accumulate into .grad, keeping the leaf's dtype.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    if node_owned and node_grad.dtype == node.data.dtype:
+                        node.grad = node_grad
+                    else:
+                        node.grad = node_grad.astype(node.data.dtype)
                 else:
-                    node.grad = node.grad + node_grad
+                    node.grad += node_grad
                 continue
-            node._backward_dispatch(node_grad, grads)
+            node._backward_dispatch(node_grad, grads, owned)
 
     def _backward_dispatch(self, node_grad: np.ndarray,
-                           grads: dict[int, np.ndarray]) -> None:
+                           grads: dict[int, np.ndarray],
+                           owned: set[int]) -> None:
         """Run the backward closure, routing parent grads into ``grads``."""
         parent_grads = self._backward(node_grad)
         for parent, pgrad in zip(self._parents, parent_grads):
             if pgrad is None or not parent.requires_grad:
                 continue
             key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + pgrad
-            else:
+            current = grads.get(key)
+            if current is None:
                 grads[key] = pgrad
+            elif key in owned:
+                current += pgrad
+            else:
+                # First contribution may alias op state (or the upstream
+                # grad itself); allocate a fresh accumulation buffer once.
+                grads[key] = current + pgrad
+                owned.add(key)
 
     # -- arithmetic ------------------------------------------------------------
 
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = other if isinstance(other, Tensor) \
+            else Tensor(other, dtype=self.data.dtype)
         out_data = self.data + other.data
+        if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
+            return Tensor._wrap(out_data)
         a, b = self, other
 
         def backward(g):
             return (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
 
-        return Tensor._make(out_data, (a, b), backward)
+        return Tensor._node(out_data, (a, b), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        a = self
-        return Tensor._make(-self.data, (a,), lambda g: (-g,))
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(-self.data)
+        return Tensor._node(-self.data, (self,), lambda g: (-g,))
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+        other = other if isinstance(other, Tensor) \
+            else Tensor(other, dtype=self.data.dtype)
+        out_data = self.data - other.data
+        if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
+            return Tensor._wrap(out_data)
+        a, b = self, other
+
+        def backward(g):
+            return (_unbroadcast(g, a.shape), _unbroadcast(-g, b.shape))
+
+        return Tensor._node(out_data, (a, b), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return Tensor(other, dtype=self.data.dtype) - self
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = other if isinstance(other, Tensor) \
+            else Tensor(other, dtype=self.data.dtype)
+        out_data = self.data * other.data
+        if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
+            return Tensor._wrap(out_data)
         a, b = self, other
-        out_data = a.data * b.data
 
         def backward(g):
             return (_unbroadcast(g * b.data, a.shape),
                     _unbroadcast(g * a.data, b.shape))
 
-        return Tensor._make(out_data, (a, b), backward)
+        return Tensor._node(out_data, (a, b), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = other if isinstance(other, Tensor) \
+            else Tensor(other, dtype=self.data.dtype)
+        out_data = self.data / other.data
+        if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
+            return Tensor._wrap(out_data)
         a, b = self, other
-        out_data = a.data / b.data
 
         def backward(g):
             ga = _unbroadcast(g / b.data, a.shape)
             gb = _unbroadcast(-g * a.data / (b.data ** 2), b.shape)
             return (ga, gb)
 
-        return Tensor._make(out_data, (a, b), backward)
+        return Tensor._node(out_data, (a, b), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return Tensor(other, dtype=self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
+        exponent = float(exponent)
+        out_data = self.data ** exponent
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         a = self
-        out_data = a.data ** exponent
 
         def backward(g):
             return (g * exponent * a.data ** (exponent - 1),)
 
-        return Tensor._make(out_data, (a,), backward)
+        return Tensor._node(out_data, (a,), backward)
 
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = other if isinstance(other, Tensor) \
+            else Tensor(other, dtype=self.data.dtype)
+        out_data = self.data @ other.data
+        if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
+            return Tensor._wrap(out_data)
         a, b = self, other
-        out_data = a.data @ b.data
 
         def backward(g):
             if b.data.ndim == 1:
@@ -279,56 +418,71 @@ class Tensor:
                 gb = _unbroadcast(gb, b.shape)
             return (ga, gb)
 
-        return Tensor._make(out_data, (a, b), backward)
+        return Tensor._node(out_data, (a, b), backward)
 
     # -- elementwise functions ---------------------------------------------------
 
     def exp(self) -> "Tensor":
-        a = self
-        out_data = np.exp(a.data)
-        return Tensor._make(out_data, (a,), lambda g: (g * out_data,))
+        out_data = np.exp(self.data)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
+        return Tensor._node(out_data, (self,), lambda g: (g * out_data,))
 
     def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         a = self
-        return Tensor._make(np.log(a.data), (a,), lambda g: (g / a.data,))
+        return Tensor._node(out_data, (a,), lambda g: (g / a.data,))
 
     def sqrt(self) -> "Tensor":
-        a = self
-        out_data = np.sqrt(a.data)
-        return Tensor._make(out_data, (a,), lambda g: (g * 0.5 / out_data,))
+        out_data = np.sqrt(self.data)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
+        return Tensor._node(out_data, (self,), lambda g: (g * 0.5 / out_data,))
 
     def tanh(self) -> "Tensor":
-        a = self
-        out_data = np.tanh(a.data)
-        return Tensor._make(out_data, (a,), lambda g: (g * (1.0 - out_data ** 2),))
+        out_data = np.tanh(self.data)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
+        return Tensor._node(out_data, (self,),
+                            lambda g: (g * (1.0 - out_data ** 2),))
 
     def sigmoid(self) -> "Tensor":
-        a = self
-        out_data = 1.0 / (1.0 + np.exp(-a.data))
-        return Tensor._make(out_data, (a,),
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
+        return Tensor._node(out_data, (self,),
                             lambda g: (g * out_data * (1.0 - out_data),))
 
     def relu(self) -> "Tensor":
-        a = self
-        mask = a.data > 0
-        return Tensor._make(a.data * mask, (a,), lambda g: (g * mask,))
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(np.maximum(self.data, 0))
+        mask = self.data > 0
+        return Tensor._node(self.data * mask, (self,), lambda g: (g * mask,))
 
     def abs(self) -> "Tensor":
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(np.abs(self.data))
         a = self
         sign = np.sign(a.data)
-        return Tensor._make(np.abs(a.data), (a,), lambda g: (g * sign,))
+        return Tensor._node(np.abs(a.data), (a,), lambda g: (g * sign,))
 
     def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         a = self
         mask = (a.data >= low) & (a.data <= high)
-        return Tensor._make(np.clip(a.data, low, high), (a,),
-                            lambda g: (g * mask,))
+        return Tensor._node(out_data, (a,), lambda g: (g * mask,))
 
     # -- reductions ----------------------------------------------------------------
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(np.asarray(out_data))
         a = self
-        out_data = a.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g):
             g = np.asarray(g)
@@ -340,7 +494,7 @@ class Tensor:
                     g = np.expand_dims(g, ax)
             return (np.broadcast_to(g, a.shape).copy(),)
 
-        return Tensor._make(out_data, (a,), backward)
+        return Tensor._node(np.asarray(out_data), (a,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -353,8 +507,10 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = np.asarray(self.data.max(axis=axis, keepdims=keepdims))
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         a = self
-        out_data = a.data.max(axis=axis, keepdims=keepdims)
 
         def backward(g):
             g = np.asarray(g)
@@ -372,44 +528,51 @@ class Tensor:
                 else mask.sum()
             return (gexp * mask / counts,)
 
-        return Tensor._make(out_data, (a,), backward)
+        return Tensor._node(out_data, (a,), backward)
 
     # -- shape manipulation ----------------------------------------------------------
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         a = self
-        out_data = a.data.reshape(shape)
-        return Tensor._make(out_data, (a,),
+        return Tensor._node(out_data, (a,),
                             lambda g: (g.reshape(a.shape),))
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        a = self
         if not axes:
-            axes = tuple(reversed(range(a.ndim)))
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         inverse = tuple(np.argsort(axes))
-        out_data = a.data.transpose(axes)
-        return Tensor._make(out_data, (a,),
+        return Tensor._node(out_data, (self,),
                             lambda g: (g.transpose(inverse),))
 
     def swapaxes(self, ax1: int, ax2: int) -> "Tensor":
-        a = self
-        out_data = a.data.swapaxes(ax1, ax2)
-        return Tensor._make(out_data, (a,), lambda g: (g.swapaxes(ax1, ax2),))
+        out_data = self.data.swapaxes(ax1, ax2)
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
+        return Tensor._node(out_data, (self,),
+                            lambda g: (g.swapaxes(ax1, ax2),))
 
     def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+        if not (_GRAD[-1] and self.requires_grad):
+            return Tensor._wrap(out_data)
         a = self
-        out_data = a.data[key]
 
         def backward(g):
             full = np.zeros_like(a.data)
             np.add.at(full, key, g)
             return (full,)
 
-        return Tensor._make(out_data, (a,), backward)
+        return Tensor._node(out_data, (a,), backward)
 
     # -- convenience -------------------------------------------------------------------
 
@@ -420,37 +583,62 @@ class Tensor:
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered by :class:`repro.nn.Module`."""
+    """A :class:`Tensor` that is registered by :class:`repro.nn.Module`.
+
+    Unlike plain tensors, parameters always adopt the ambient default dtype
+    (or the explicit ``dtype``) even when built from a float array — module
+    state is canonical and should not silently keep an initializer's dtype.
+    """
 
     __slots__ = ()
 
-    def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+    def __init__(self, data, dtype=None):
+        super().__init__(data, requires_grad=True,
+                         dtype=np.dtype(dtype) if dtype is not None
+                         else _DEFAULT_DTYPE[-1])
 
 
-def as_tensor(value) -> Tensor:
-    """Coerce ``value`` (Tensor, ndarray or scalar) to a :class:`Tensor`."""
+def as_tensor(value, dtype=None) -> Tensor:
+    """Coerce ``value`` (Tensor, ndarray or scalar) to a :class:`Tensor`.
+
+    Tensors pass through unchanged (``dtype`` is ignored for them — use
+    :meth:`Tensor.astype` for a differentiable cast).
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(value)
+    return Tensor(value, dtype=dtype)
+
+
+def _coerce_peers(values) -> list[Tensor]:
+    """Coerce a mixed list to tensors, non-Tensor entries adopting the
+    dtype of the first Tensor present (so one list/scalar operand cannot
+    upcast a float32 graph)."""
+    values = list(values)
+    ref = next((v.data.dtype for v in values if isinstance(v, Tensor)), None)
+    return [v if isinstance(v, Tensor) else Tensor(v, dtype=ref)
+            for v in values]
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis (differentiable)."""
-    tensors = [as_tensor(t) for t in tensors]
+    tensors = _coerce_peers(tensors)
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not (_GRAD[-1] and any(t.requires_grad for t in tensors)):
+        return Tensor._wrap(out_data)
 
     def backward(g):
         pieces = np.split(g, len(tensors), axis=axis)
         return tuple(np.squeeze(p, axis=axis) for p in pieces)
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._node(out_data, tensors, backward)
 
 
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along an existing axis (differentiable)."""
-    tensors = [as_tensor(t) for t in tensors]
+    tensors = _coerce_peers(tensors)
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (_GRAD[-1] and any(t.requires_grad for t in tensors)):
+        return Tensor._wrap(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -462,18 +650,20 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             outs.append(g[tuple(slicer)])
         return tuple(outs)
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._node(out_data, tensors, backward)
 
 
 def where(condition: np.ndarray, a, b) -> Tensor:
     """Differentiable ``np.where`` with a constant condition mask."""
-    a, b = as_tensor(a), as_tensor(b)
+    a, b = _coerce_peers((a, b))
     cond = np.asarray(condition, dtype=bool)
     out_data = np.where(cond, a.data, b.data)
+    if not (_GRAD[-1] and (a.requires_grad or b.requires_grad)):
+        return Tensor._wrap(out_data)
 
     def backward(g):
         ga = _unbroadcast(g * cond, a.shape)
         gb = _unbroadcast(g * (~cond), b.shape)
         return (ga, gb)
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._node(out_data, (a, b), backward)

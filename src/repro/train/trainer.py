@@ -40,6 +40,7 @@ class TrainConfig:
     max_seq_len: int = 30
     metric: str = "hr@10"       # early-stopping criterion
     warmup_frac: float = 0.0    # >0 enables a warmup+cosine LR schedule
+    dtype: str | None = None    # "float32"/"float64": cast the model up front
     seed: int = 0
     verbose: bool = False
 
@@ -65,6 +66,10 @@ class Trainer:
         self.config = config or TrainConfig()
         self.pretraining = pretraining
         self._rng = np.random.default_rng(self.config.seed)
+        if self.config.dtype is not None:
+            # Cast before the optimizer snapshots its moment buffers so the
+            # whole run (params, grads, optimizer state) shares one dtype.
+            model.to_dtype(self.config.dtype)
         params = [p for p in model.parameters() if p.requires_grad]
         self.optimizer = nn.AdamW(params, lr=self.config.lr,
                                   weight_decay=self.config.weight_decay)

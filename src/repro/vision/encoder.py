@@ -64,8 +64,10 @@ class MiniViT(nn.Module):
     def forward(self, images: np.ndarray):
         patches = patchify(np.asarray(images), self.config.patch_size)
         batch = patches.shape[0]
-        x = self.patch_proj(Tensor(patches))
-        cls = self.cls_token + Tensor(np.zeros((batch, 1, self.config.dim)))
+        dtype = self.param_dtype
+        x = self.patch_proj(Tensor(patches, dtype=dtype))
+        cls = self.cls_token + Tensor._wrap(
+            np.zeros((batch, 1, self.config.dim), dtype=dtype))
         x = concat([cls, x], axis=1)
         positions = np.broadcast_to(np.arange(x.shape[1]),
                                     (batch, x.shape[1]))

@@ -1,0 +1,123 @@
+"""Edge cases of the ranking metrics against brute-force references.
+
+The paper's headline numbers are exact full-catalogue HR@k / NDCG@k
+(Sec. IV-A2, following Krichene & Rendle); these tests pin down the
+conventions that make them conservative: pessimistic tie-breaking, the
+always-excluded padding column, empty-example behavior, and agreement
+with a from-first-principles reference on tiny catalogues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.splits import EvalExample
+from repro.eval import (evaluate_ranking, hit_ratio, metrics_from_ranks,
+                        ndcg, rank_of_target)
+
+
+def brute_force_rank(row_scores: np.ndarray, target: int) -> int:
+    """Pessimistic 1-based rank, computed the slow obvious way."""
+    target_score = row_scores[target]
+    rank = 1
+    for item, score in enumerate(row_scores):
+        if item == 0 or item == target:
+            continue  # padding column / the target itself
+        if score >= target_score:
+            rank += 1
+    return rank
+
+
+def test_tie_with_target_counts_against_it():
+    scores = np.array([[0.0, 2.0, 2.0]])
+    # Item 2 ties with item 1: pessimistically both rank behind the tie.
+    assert rank_of_target(scores, np.array([2]))[0] == 2
+    assert rank_of_target(scores, np.array([1]))[0] == 2
+
+
+def test_all_equal_scores_rank_last():
+    n = 6
+    scores = np.zeros((1, n + 1))
+    assert rank_of_target(scores, np.array([3]))[0] == n
+
+
+def test_padding_tie_does_not_hurt_target():
+    # Padding column ties the target's score but must stay excluded.
+    scores = np.array([[5.0, 5.0, 1.0]])
+    assert rank_of_target(scores, np.array([1]))[0] == 1
+
+
+def test_padding_higher_score_still_excluded():
+    scores = np.array([[99.0, 3.0, 2.0, 1.0]])
+    assert rank_of_target(scores, np.array([1]))[0] == 1
+
+
+def test_rank_matches_brute_force_with_ties():
+    rng = np.random.default_rng(3)
+    # Quantized scores force plenty of ties.
+    scores = np.round(rng.normal(size=(40, 9)) * 2) / 2
+    targets = rng.integers(1, 9, size=40)
+    fast = rank_of_target(scores, targets)
+    slow = np.array([brute_force_rank(scores[i], targets[i])
+                     for i in range(40)])
+    np.testing.assert_array_equal(fast, slow)
+
+
+def test_evaluate_ranking_empty_examples_all_ks():
+    out = evaluate_ranking(lambda h: np.zeros((0, 4)), [], ks=(1, 10, 50))
+    assert out == {"hr@1": 0.0, "ndcg@1": 0.0, "hr@10": 0.0, "ndcg@10": 0.0,
+                   "hr@50": 0.0, "ndcg@50": 0.0}
+
+
+def test_evaluate_ranking_agrees_with_brute_force_tiny_catalog():
+    rng = np.random.default_rng(11)
+    num_items = 7
+    table = rng.normal(size=(12, num_items + 1))
+    examples = [EvalExample(history=np.array([1 + i % num_items]),
+                            target=int(rng.integers(1, num_items + 1)))
+                for i in range(12)]
+    calls = {"n": 0}
+
+    def scorer(histories):
+        start = calls["n"]
+        calls["n"] += len(histories)
+        return table[start:start + len(histories)]
+
+    got = evaluate_ranking(scorer, examples, ks=(1, 3), batch_size=5)
+    ranks = np.array([brute_force_rank(table[i], examples[i].target)
+                      for i in range(12)])
+    for k in (1, 3):
+        hits = float((ranks <= k).mean())
+        gains = float(np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0),
+                               0.0).mean())
+        assert got[f"hr@{k}"] == pytest.approx(hits)
+        assert got[f"ndcg@{k}"] == pytest.approx(gains)
+
+
+def test_hr_ndcg_coincide_at_k1():
+    ranks = np.array([1, 2, 1, 4, 1])
+    assert hit_ratio(ranks, 1) == pytest.approx(ndcg(ranks, 1))
+
+
+def test_k_larger_than_catalog_saturates_hr():
+    ranks = np.arange(1, 8)
+    assert hit_ratio(ranks, 1000) == 1.0
+    assert ndcg(ranks, 1000) < 1.0  # positions past 1 still discounted
+
+
+def test_metrics_from_ranks_single_example():
+    out = metrics_from_ranks(np.array([2]), ks=(1, 10))
+    assert out["hr@1"] == 0.0
+    assert out["hr@10"] == 1.0
+    assert out["ndcg@10"] == pytest.approx(1.0 / np.log2(3.0))
+
+
+def test_float32_scores_rank_identically():
+    """Ranking must not change when the scorer hands back float32 scores."""
+    rng = np.random.default_rng(5)
+    scores = rng.normal(size=(20, 11))
+    targets = rng.integers(1, 11, size=20)
+    np.testing.assert_array_equal(
+        rank_of_target(scores, targets),
+        rank_of_target(scores.astype(np.float32), targets))

@@ -1,0 +1,175 @@
+"""Finite-difference gradient checks for every primitive, in both dtypes.
+
+Complements ``test_autograd.py`` (float64-only) with a single parameterized
+sweep: each autograd primitive — including the ones that file leaves
+uncovered (neg, sub/rsub, scalar-operand paths, truediv numerator, mean
+over all axes, max with keepdims/ties, astype, take_rows, masked_fill,
+cosine_similarity) — is checked against central finite differences under
+float64 *and* float32, with dtype-appropriate tolerances.
+
+The analytic gradient is computed in the target dtype; the numeric
+reference is always evaluated in float64 so the comparison measures the
+op's precision loss, not the reference's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.tensor import Tensor, concat, stack, where
+
+from ..conftest import numeric_grad
+
+DTYPE_TOLS = {
+    "float64": dict(atol=1e-5, rtol=1e-4),
+    "float32": dict(atol=5e-3, rtol=5e-3),
+}
+
+
+def check_grad_dtype(build_loss, x0: np.ndarray, dtype: str) -> None:
+    """Analytic grad in ``dtype`` vs float64 finite differences.
+
+    ``build_loss(tensor) -> Tensor`` must be dtype-polymorphic: constants
+    it introduces must follow its argument's dtype (the repo's ops do).
+    """
+    np_dtype = np.dtype(dtype)
+    leaf = Tensor(x0.astype(np_dtype), requires_grad=True)
+    loss = build_loss(leaf)
+    assert loss.data.dtype == np_dtype, \
+        f"loss dtype {loss.data.dtype} leaked away from {np_dtype}"
+    loss.backward()
+    analytic = leaf.grad
+    assert analytic is not None and analytic.dtype == np_dtype
+
+    def scalar_fn(arr):
+        with nn.no_grad():
+            return float(build_loss(Tensor(arr)).data)
+
+    numeric = numeric_grad(scalar_fn, x0.astype(np.float64))
+    np.testing.assert_allclose(analytic.astype(np.float64), numeric,
+                               **DTYPE_TOLS[dtype])
+
+
+def _rng():
+    return np.random.default_rng(20240726)
+
+
+def _const(t: Tensor, arr: np.ndarray) -> Tensor:
+    """A constant cast to the dtype of the tensor under test."""
+    return Tensor(arr, dtype=t.data.dtype)
+
+
+R = _rng()
+OTHER = R.normal(size=(3, 4))
+POSITIVE = np.abs(R.normal(size=(3, 4))) + 0.5
+MAT = R.normal(size=(4, 2))
+VEC = R.normal(size=(4,))
+IDX = np.array([[0, 2, 2], [4, 0, 1]])
+TARGETS = np.array([0, 3, 1])
+POS_MASK = np.eye(3, 4, dtype=bool)
+BOOL_MASK = R.random((3, 4)) > 0.5
+
+CASES = {
+    "neg": (lambda t: (-t).sum(), OTHER),
+    "sub": (lambda t: (t - _const(t, OTHER)).sum(), OTHER),
+    "sub_const_side": (lambda t: (_const(t, OTHER) - t).sum(), OTHER),
+    "rsub_scalar": (lambda t: ((1.5 - t) ** 2.0).sum(), OTHER),
+    "add_scalar": (lambda t: (t + 2.5).sum(), OTHER),
+    "radd_scalar": (lambda t: (2.5 + t).sum(), OTHER),
+    "mul_scalar": (lambda t: (3.0 * t).sum(), OTHER),
+    "div_numerator": (lambda t: (t / _const(t, POSITIVE)).sum(), OTHER),
+    "div_denominator": (lambda t: (_const(t, OTHER) / t).sum(), POSITIVE),
+    "rtruediv_scalar": (lambda t: (2.0 / t).sum(), POSITIVE),
+    "pow": (lambda t: (t ** 3.0).sum(), POSITIVE),
+    "matmul": (lambda t: ((t.reshape(3, 4) @ _const(t, MAT)) ** 2.0).sum(),
+               OTHER),
+    "matmul_vec": (lambda t: (t.reshape(3, 4) @ _const(t, VEC)).sum(), OTHER),
+    "exp": (lambda t: t.exp().sum(), OTHER),
+    "log": (lambda t: t.log().sum(), POSITIVE),
+    "sqrt": (lambda t: t.sqrt().sum(), POSITIVE),
+    "tanh": (lambda t: t.tanh().sum(), OTHER),
+    "sigmoid": (lambda t: t.sigmoid().sum(), OTHER),
+    "relu": (lambda t: t.relu().sum(), OTHER),
+    "abs": (lambda t: t.abs().sum(), POSITIVE),
+    "clip": (lambda t: t.clip(-0.75, 0.75).sum(),
+             OTHER[np.abs(np.abs(OTHER) - 0.75) > 0.05]),
+    "sum_all": (lambda t: (t.sum() ** 2.0), OTHER),
+    "sum_keepdims": (lambda t: (t.sum(axis=1, keepdims=True) ** 2.0).sum(),
+                     OTHER),
+    "mean_all": (lambda t: (t.mean() ** 2.0), OTHER),
+    "mean_tuple_axes": (lambda t: (t.mean(axis=(0, 1)) ** 2.0), OTHER),
+    "max_all": (lambda t: t.max() * 2.0, OTHER),
+    "max_keepdims": (lambda t: t.max(axis=0, keepdims=True).sum(), OTHER),
+    "reshape": (lambda t: (t.reshape(4, 3) ** 2.0).sum(), OTHER),
+    "transpose": (lambda t: (t.transpose(1, 0) ** 2.0).sum(), OTHER),
+    "swapaxes": (lambda t: (t.swapaxes(0, 1) ** 2.0).sum(), OTHER),
+    "getitem": (lambda t: (t[1:, ::2] ** 2.0).sum(), OTHER),
+    "l2_normalize": (lambda t: (t.l2_normalize() ** 2.0).sum(),
+                     OTHER + 0.1),
+    "concat": (lambda t: (concat([t, _const(t, OTHER)], axis=1) ** 2.0).sum(),
+               OTHER),
+    "stack_axis1": (lambda t: (stack([t, _const(t, OTHER)], axis=1)
+                               ** 2.0).sum(), OTHER),
+    "where_true_side": (lambda t: (where(BOOL_MASK, t, _const(t, OTHER))
+                                   ** 2.0).sum(), OTHER),
+    "where_false_side": (lambda t: (where(BOOL_MASK, _const(t, OTHER), t)
+                                    ** 2.0).sum(), OTHER),
+    "softmax": (lambda t: (nn.softmax(t, axis=-1)
+                           * _const(t, OTHER)).sum(), OTHER),
+    "log_softmax": (lambda t: (nn.log_softmax(t)
+                               * _const(t, OTHER)).sum(), OTHER),
+    "cross_entropy": (lambda t: nn.cross_entropy(t, TARGETS), OTHER),
+    "cross_entropy_ignore": (
+        lambda t: nn.cross_entropy(t, np.array([0, -1, 2]), ignore_index=-1),
+        OTHER),
+    "embedding": (lambda t: (nn.embedding(t.reshape(5, 3), IDX) ** 2.0).sum(),
+                  R.normal(size=(5, 3))),
+    "take_rows": (lambda t: (nn.take_rows(t.reshape(5, 3),
+                                          np.array([4, 1, 1])) ** 2.0).sum(),
+                  R.normal(size=(5, 3))),
+    "gelu": (lambda t: nn.gelu(t).sum(), OTHER),
+    "masked_fill": (lambda t: nn.masked_fill(t, BOOL_MASK, -2.0).sum(), OTHER),
+    "cosine_similarity": (
+        lambda t: nn.cosine_similarity(t, _const(t, OTHER + 0.2)).sum(),
+        OTHER + 0.1),
+    "info_nce": (lambda t: nn.info_nce(t, POS_MASK), OTHER),
+    "info_nce_candidates": (
+        lambda t: nn.info_nce(t, POS_MASK, BOOL_MASK | POS_MASK), OTHER),
+    "reuse_accumulation": (lambda t: (t * t).sum() + t.sum() * 2.0, OTHER),
+    "diamond": (lambda t: ((t * 2.0) * (t + 1.0)).sum(), OTHER),
+}
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_primitive_grad(name, dtype):
+    build_loss, x0 = CASES[name]
+    check_grad_dtype(build_loss, np.asarray(x0, dtype=np.float64), dtype)
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_max_tie_subgradient_splits_evenly(dtype):
+    """Ties split the gradient — a convention FD cannot see, so assert it
+    directly instead of against finite differences."""
+    x = Tensor(np.array([[1.0, 1.0, 0.0], [2.0, 2.0, 2.0]], dtype=dtype),
+               requires_grad=True)
+    x.max(axis=1).sum().backward()
+    expected = np.array([[0.5, 0.5, 0.0], [1 / 3, 1 / 3, 1 / 3]])
+    np.testing.assert_allclose(x.grad, expected, rtol=1e-6)
+    assert x.grad.dtype == np.dtype(dtype)
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_astype_grad_chain(dtype):
+    """An up-cast in the middle of the graph routes grads back down-cast.
+
+    (FD can't check casts that quantize, so assert the exact chain rule.)
+    """
+    other = np.dtype(np.float64 if np.dtype(dtype) == np.float32
+                     else np.float32)
+    x = Tensor(np.arange(1.0, 4.0, dtype=dtype), requires_grad=True)
+    (x.astype(other) * 3.0).sum().backward()
+    assert x.grad.dtype == np.dtype(dtype)
+    np.testing.assert_allclose(x.grad, 3.0)

@@ -1,0 +1,257 @@
+"""Dtype semantics of the tensor engine: defaults, casts, stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.tensor import Tensor, concat, stack, where
+
+
+def test_default_dtype_is_float64():
+    assert nn.get_default_dtype() == np.float64
+    assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+
+def test_default_dtype_context_scopes_new_tensors():
+    with nn.default_dtype(np.float32):
+        assert nn.get_default_dtype() == np.float32
+        assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert Tensor(5).data.dtype == np.float32
+    assert nn.get_default_dtype() == np.float64
+
+
+def test_default_dtype_context_nests():
+    with nn.default_dtype(np.float32):
+        with nn.default_dtype(np.float64):
+            assert Tensor([1]).data.dtype == np.float64
+        assert Tensor([1]).data.dtype == np.float32
+
+
+def test_set_default_dtype_rejects_non_float():
+    with pytest.raises(TypeError):
+        nn.set_default_dtype(np.int64)
+    with pytest.raises(TypeError):
+        with nn.default_dtype(np.int32):
+            pass
+
+
+def test_set_default_dtype_survives_enclosing_context():
+    try:
+        with nn.default_dtype(np.float64):
+            nn.set_default_dtype(np.float32)
+            # Context still overrides while active...
+            assert nn.get_default_dtype() == np.float64
+        # ...but the process-wide base reflects the explicit set afterwards.
+        assert nn.get_default_dtype() == np.float32
+    finally:
+        nn.set_default_dtype(np.float64)
+
+
+def test_where_stack_concat_scalar_operands_do_not_promote():
+    t = Tensor(np.ones((3,), dtype=np.float32), requires_grad=True)
+    cond = np.array([True, False, True])
+    assert where(cond, t, 0.0).data.dtype == np.float32
+    assert where(cond, -1.0, t).data.dtype == np.float32
+    assert stack([t, [1.0, 2.0, 3.0]]).data.dtype == np.float32
+    assert concat([[1.0], t]).data.dtype == np.float32
+
+
+def test_float_arrays_keep_their_dtype():
+    arr32 = np.ones(3, dtype=np.float32)
+    arr64 = np.ones(3, dtype=np.float64)
+    assert Tensor(arr32).data.dtype == np.float32
+    assert Tensor(arr64).data.dtype == np.float64
+    # Non-float payloads adopt the default.
+    assert Tensor(np.ones(3, dtype=np.int32)).data.dtype == np.float64
+
+
+def test_explicit_dtype_overrides():
+    arr = np.ones(3, dtype=np.float64)
+    assert Tensor(arr, dtype=np.float32).data.dtype == np.float32
+
+
+def test_parameter_adopts_default_dtype():
+    arr64 = np.ones(4)
+    assert nn.Parameter(arr64).data.dtype == np.float64
+    with nn.default_dtype(np.float32):
+        assert nn.Parameter(arr64).data.dtype == np.float32
+    assert nn.Parameter(arr64, dtype=np.float32).data.dtype == np.float32
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_scalar_operands_do_not_promote(dtype):
+    t = Tensor(np.ones((2, 3), dtype=dtype), requires_grad=True)
+    for out in (t + 1.0, 1.0 + t, t * 2.0, 2.0 * t, t - 1.0, 1.0 - t,
+                t / 2.0, 2.0 / t, -t, t ** 2.0):
+        assert out.data.dtype == dtype, out
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_elementwise_and_reductions_preserve_dtype(dtype):
+    t = Tensor(np.full((2, 3), 0.5, dtype=dtype), requires_grad=True)
+    for out in (t.exp(), t.log(), t.sqrt(), t.tanh(), t.sigmoid(), t.relu(),
+                t.abs(), t.clip(0.0, 1.0), t.sum(), t.mean(axis=1),
+                t.max(axis=0), t.reshape(3, 2), t.transpose(),
+                t.swapaxes(0, 1), t[0], t.l2_normalize(),
+                nn.softmax(t), nn.log_softmax(t), nn.gelu(t)):
+        assert out.data.dtype == dtype, out
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_composite_ops_preserve_dtype(dtype):
+    rng = np.random.default_rng(0)
+    t = Tensor(rng.normal(size=(3, 4)).astype(dtype), requires_grad=True)
+    mask = np.array([[True, False, True, False]] * 3)
+    assert nn.masked_fill(t, mask).data.dtype == dtype
+    assert nn.dropout(t, 0.5, rng, training=True).data.dtype == dtype
+    assert nn.cross_entropy(t, np.array([0, 1, 2])).data.dtype == dtype
+    pos = np.eye(3, 4, dtype=bool)
+    assert nn.info_nce(t, pos).data.dtype == dtype
+    assert concat([t, t], axis=0).data.dtype == dtype
+    assert stack([t, t]).data.dtype == dtype
+    assert where(mask, t, t * 2.0).data.dtype == dtype
+    table = nn.Parameter(rng.normal(size=(5, 4)), dtype=dtype)
+    assert nn.embedding(table, np.array([0, 2])).data.dtype == dtype
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_backward_grad_matches_leaf_dtype(dtype):
+    t = Tensor(np.ones((2, 3), dtype=dtype), requires_grad=True)
+    ((t * 3.0) ** 2.0).sum().backward()
+    assert t.grad is not None and t.grad.dtype == dtype
+
+
+def test_backward_casts_mixed_dtype_grads_to_leaf_dtype():
+    a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+    b = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.dtype == np.float32
+    assert b.grad.dtype == np.float64
+
+
+def test_grad_accumulates_across_backward_calls_dtype_stable():
+    t = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    (t * 2.0).sum().backward()
+    (t * 3.0).sum().backward()
+    assert t.grad.dtype == np.float32
+    np.testing.assert_allclose(t.grad, np.full(4, 5.0, dtype=np.float32))
+
+
+def test_astype_is_differentiable_and_casts_grad_back():
+    t = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+    out = t.astype(np.float32)
+    assert out.data.dtype == np.float32
+    (out * 2.0).sum().backward()
+    assert t.grad.dtype == np.float64
+    np.testing.assert_allclose(t.grad, 2.0)
+
+
+def test_astype_same_dtype_is_identity():
+    t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+    assert t.astype(np.float32) is t
+    assert t.to(np.float32) is t
+
+
+def test_module_to_dtype_round_trip():
+    layer = nn.Linear(4, 3)
+    assert layer.param_dtype == np.float64
+    layer.to_dtype(np.float32)
+    assert layer.param_dtype == np.float32
+    assert all(p.data.dtype == np.float32 for p in layer.parameters())
+    out = layer(Tensor(np.ones((2, 4), dtype=np.float32)))
+    assert out.data.dtype == np.float32
+    layer.to_dtype(np.float64)
+    assert layer.param_dtype == np.float64
+
+
+def test_module_built_under_float32_context():
+    with nn.default_dtype(np.float32):
+        block = nn.TransformerBlock(8, 2)
+    assert all(p.data.dtype == np.float32 for p in block.parameters())
+    out = block(Tensor(np.ones((1, 4, 8), dtype=np.float32)))
+    assert out.data.dtype == np.float32
+
+
+def test_float32_module_init_matches_float64_values():
+    """Same seed => same parameter values regardless of precision."""
+    rng64 = np.random.default_rng(7)
+    rng32 = np.random.default_rng(7)
+    layer64 = nn.Linear(6, 5, rng=rng64)
+    with nn.default_dtype(np.float32):
+        layer32 = nn.Linear(6, 5, rng=rng32)
+    np.testing.assert_allclose(layer32.weight.data,
+                               layer64.weight.data.astype(np.float32))
+
+
+def test_load_state_dict_casts_to_param_dtype():
+    src = nn.Linear(3, 2)
+    dst = nn.Linear(3, 2)
+    dst.to_dtype(np.float32)
+    dst.load_state_dict(src.state_dict())
+    assert dst.weight.data.dtype == np.float32
+    np.testing.assert_allclose(dst.weight.data,
+                               src.weight.data.astype(np.float32))
+
+
+def test_checkpoint_round_trips_dtype(tmp_path):
+    with nn.default_dtype(np.float32):
+        layer = nn.Linear(4, 4)
+    path = str(tmp_path / "ckpt.npz")
+    nn.save_checkpoint(layer, path)
+    state = nn.load_checkpoint(path)
+    assert all(v.dtype == np.float32 for v in state.values())
+    with nn.default_dtype(np.float32):
+        reloaded = nn.Linear(4, 4)
+    reloaded.load_state_dict(state)
+    np.testing.assert_array_equal(reloaded.weight.data, layer.weight.data)
+
+
+def test_optimizer_state_follows_param_dtype():
+    with nn.default_dtype(np.float32):
+        layer = nn.Linear(3, 3)
+    opt = nn.AdamW(layer.parameters(), lr=1e-2)
+    out = (layer(Tensor(np.ones((2, 3), dtype=np.float32))) ** 2.0).sum()
+    out.backward()
+    opt.step()
+    assert all(m.dtype == np.float32 for m in opt._m)
+    assert all(v.dtype == np.float32 for v in opt._v)
+    assert layer.weight.data.dtype == np.float32
+
+
+def test_no_grad_fast_path_builds_no_graph():
+    t = Tensor(np.ones((3, 3)), requires_grad=True)
+    with nn.no_grad():
+        out = ((t @ t) + t).relu().sum()
+    assert out._backward is None
+    assert out._parents == ()
+    assert not out.requires_grad
+
+
+def test_constant_inputs_build_no_graph():
+    a = Tensor(np.ones((3, 3)))
+    b = Tensor(np.ones((3, 3)))
+    out = (a @ b + a * b).sum()
+    assert out._backward is None and out._parents == ()
+
+
+def test_in_place_accumulation_matches_functional_semantics():
+    """Shared parents accumulate via += without corrupting shared buffers."""
+    x = Tensor(np.arange(4, dtype=np.float64), requires_grad=True)
+    y = x + x  # both backward outputs alias the same upstream array
+    z = (y * y).sum() + y.sum()
+    z.backward()
+    expected = 4.0 * np.arange(4) * 2.0 + 2.0  # d/dx [(2x)^2 + 2x]
+    np.testing.assert_allclose(x.grad, expected)
+
+
+def test_user_supplied_seed_grad_is_not_mutated():
+    t = Tensor(np.ones(3), requires_grad=True)
+    out = t * 2.0
+    seed = np.ones(3)
+    out.backward(seed)
+    out2 = t * 2.0
+    out2.backward(seed)
+    np.testing.assert_array_equal(seed, np.ones(3))
+    np.testing.assert_allclose(t.grad, 4.0)

@@ -1,0 +1,111 @@
+"""Float32 end-to-end smoke: one PMMRec step and one baseline step.
+
+Builds identical models (same seeds) in float32 and float64, runs one
+optimizer step on the same batch, and checks that (a) everything stays in
+the selected dtype with finite losses and (b) losses and full-catalogue
+validation metrics agree across precisions within 1e-2 relative tolerance
+— the evidence that the paper's pipeline can run in float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.baselines import SASRec
+from repro.core import PMMRec, PMMRecConfig
+from repro.data import build_dataset, pad_sequences
+from repro.eval.evaluator import evaluate_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("bili_food", profile="smoke")
+
+
+def _one_step(model, dataset, batch):
+    opt = nn.AdamW([p for p in model.parameters() if p.requires_grad],
+                   lr=1e-3)
+    opt.zero_grad()
+    loss, _ = model.training_loss(dataset, batch.item_ids, batch.mask)
+    loss.backward()
+    nn.clip_grad_norm(opt.parameters, 5.0)
+    opt.step()
+    return loss
+
+
+def test_pmmrec_step_and_eval_float32_matches_float64(dataset):
+    batch = pad_sequences(dataset.split.train[:8], max_len=20)
+    results = {}
+    for dtype in (np.float64, np.float32):
+        with nn.default_dtype(dtype):
+            model = PMMRec(PMMRecConfig(seed=0))
+        assert model.param_dtype == dtype
+        loss = _one_step(model, dataset, batch)
+        assert loss.data.dtype == dtype
+        assert np.isfinite(float(loss.data))
+        grads = {p.grad.dtype for p in model.parameters()
+                 if p.grad is not None}
+        assert grads == {np.dtype(dtype)}
+        metrics = evaluate_model(model, dataset, dataset.split.valid[:24],
+                                 ks=(10,))
+        results[np.dtype(dtype).name] = (float(loss.data), metrics)
+
+    loss64, metrics64 = results["float64"]
+    loss32, metrics32 = results["float32"]
+    assert loss32 == pytest.approx(loss64, rel=1e-2)
+    for key in metrics64:
+        assert metrics32[key] == pytest.approx(metrics64[key], rel=1e-2,
+                                               abs=1e-9), key
+
+
+def test_sasrec_baseline_step_float32_matches_float64(dataset):
+    batch = pad_sequences(dataset.split.train[:8], max_len=20)
+    results = {}
+    for dtype in (np.float64, np.float32):
+        with nn.default_dtype(dtype):
+            model = SASRec(dataset.num_items, dim=32, seed=0)
+        loss = _one_step(model, dataset, batch)
+        assert loss.data.dtype == dtype
+        assert np.isfinite(float(loss.data))
+        metrics = evaluate_model(model, dataset, dataset.split.valid[:24],
+                                 ks=(10,))
+        results[np.dtype(dtype).name] = (float(loss.data), metrics)
+
+    loss64, metrics64 = results["float64"]
+    loss32, metrics32 = results["float32"]
+    assert loss32 == pytest.approx(loss64, rel=1e-2)
+    for key in metrics64:
+        assert metrics32[key] == pytest.approx(metrics64[key], rel=1e-2,
+                                               abs=1e-9), key
+
+
+@pytest.mark.parametrize("name", ["sasrec", "grurec", "nextitnet", "fdsa",
+                                  "carca++", "unisrec"])
+def test_baseline_losses_stay_float32(dataset, name):
+    """No baseline may silently upcast a float32 graph back to float64
+    (frozen feature tables and mask constants are the usual culprits)."""
+    from repro.baselines import make_baseline
+    from repro.data import pad_sequences
+    with nn.default_dtype(np.float32):
+        model = make_baseline(name, dataset, seed=0)
+    reps = model.item_representations(dataset, np.arange(1, 5))
+    assert reps.data.dtype == np.float32, name
+    batch = pad_sequences(dataset.split.train[:4], max_len=16)
+    loss, _ = model.training_loss(dataset, batch.item_ids, batch.mask)
+    assert loss.data.dtype == np.float32, name
+    assert np.isfinite(float(loss.data))
+
+
+def test_trainer_dtype_knob_casts_model(dataset):
+    from repro.train import TrainConfig, Trainer
+    model = SASRec(dataset.num_items, dim=32, seed=0)
+    assert model.param_dtype == np.float64
+    trainer = Trainer(model, dataset,
+                      TrainConfig(epochs=1, batch_size=8, dtype="float32"))
+    assert model.param_dtype == np.float32
+    assert all(m.dtype == np.float32 for m in trainer.optimizer._m)
+    batch = pad_sequences(dataset.split.train[:4], max_len=16)
+    loss, _ = model.training_loss(dataset, batch.item_ids, batch.mask)
+    assert loss.data.dtype == np.float32
