@@ -17,12 +17,17 @@ import traceback
 os.environ.setdefault("OMP_NUM_THREADS", "1")
 os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
 os.environ.setdefault("MKL_NUM_THREADS", "1")
+# Experiments run at float32 (the PR-1 fast path; deltas vs float64 are
+# recorded in results/float32_notes.md). REPRO_DTYPE=float64 restores the
+# original full-precision harness; the result cache keys on the dtype.
+os.environ.setdefault("REPRO_DTYPE", "float32")
 
 from repro.experiments import ALL_TABLES
 
 
 def main() -> int:
     profile = sys.argv[1] if len(sys.argv) > 1 else None
+    print(f"[experiment dtype: {os.environ['REPRO_DTYPE']}]", flush=True)
     failures = 0
     for name, module in ALL_TABLES.items():
         start = time.time()

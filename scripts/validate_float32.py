@@ -1,0 +1,60 @@
+"""Re-validate experiment metrics at float32 vs float64 (smoke scale).
+
+Runs representative experiment cells at both precisions with identical
+seeds and prints the metric deltas; the summary is recorded in
+``results/float32_notes.md``. Usage::
+
+    PYTHONPATH=src python scripts/validate_float32.py [profile]
+"""
+
+import os
+import sys
+import time
+
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ["REPRO_FORCE"] = "1"          # never read stale cache entries
+
+from repro.experiments import cells, runner
+
+CASES = [
+    ("sasrec", "kwai_food"),          # ID-based reference architecture
+    ("morec++", "kwai_food"),         # modality-based transferable baseline
+    ("pmmrec", "kwai_food"),          # the paper model, full multi-task loss
+]
+
+
+def main() -> int:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    rows = []
+    for method, dataset in CASES:
+        per_dtype = {}
+        for dtype in ("float64", "float32"):
+            # Toggle precision in-process: the frozen constant (cache
+            # key) and the training budgets must move together.
+            runner.EXPERIMENT_DTYPE = dtype
+            for budget in (cells.SCRATCH, cells.PRETRAIN, cells.FINETUNE):
+                budget["dtype"] = dtype
+            start = time.time()
+            out = cells.source_performance(method, dataset, profile=profile,
+                                           seed=1, with_cold=False)
+            per_dtype[dtype] = {"hr@10": out["test"]["hr@10"],
+                                "ndcg@10": out["test"]["ndcg@10"],
+                                "best_val": out["best_val"],
+                                "epochs": out["epochs"],
+                                "seconds": time.time() - start}
+        rows.append((method, dataset, per_dtype))
+        f64, f32 = per_dtype["float64"], per_dtype["float32"]
+        print(f"{method:>10} on {dataset} ({profile}):")
+        for metric in ("hr@10", "ndcg@10", "best_val"):
+            delta = f32[metric] - f64[metric]
+            print(f"    {metric:>8}: f64={f64[metric]:.4f} "
+                  f"f32={f32[metric]:.4f} delta={delta:+.4f}")
+        print(f"    epochs: f64={f64['epochs']} f32={f32['epochs']}   "
+              f"wall: f64={f64['seconds']:.1f}s f32={f32['seconds']:.1f}s "
+              f"({f64['seconds'] / max(f32['seconds'], 1e-9):.2f}x)",
+              flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

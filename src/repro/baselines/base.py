@@ -134,19 +134,9 @@ class SequentialRecommender(nn.Module):
     def score_histories(self, dataset: SeqDataset,
                         histories: list[np.ndarray],
                         catalog: np.ndarray | None = None) -> np.ndarray:
-        """Full-catalogue next-item scores for each history."""
-        from ..data.batching import pad_sequences
+        """Full-catalogue next-item scores (via the shared eval kernel)."""
+        from ..eval.scoring import score_batch
         if catalog is None:
             catalog = self.encode_catalog(dataset)
-        batch = pad_sequences(histories, max_len=getattr(self, "max_seq_len",
-                                                         30))
-        was_training = self.training
-        self.eval()
-        with nn.no_grad():
-            reps = Tensor._wrap(catalog[batch.item_ids]
-                                * batch.mask[:, :, None])
-            hidden = self.sequence_hidden(reps, batch.mask).data
-        self.train(was_training)
-        last = batch.mask.sum(axis=1) - 1
-        final = hidden[np.arange(len(histories)), last]
-        return final @ catalog.T
+        return score_batch(self, catalog, histories,
+                           max_seq_len=getattr(self, "max_seq_len", 30))

@@ -23,6 +23,11 @@ __all__ = ["BERT4Rec"]
 class BERT4Rec(SequentialRecommender):
     """ID embeddings + bidirectional Transformer + masked item prediction."""
 
+    #: Inference appends a [MASK] token that is not a catalogue row, so
+    #: the shared gather-encode-project kernel cannot reproduce it; eval
+    #: and serving must go through score_histories below.
+    supports_score_kernel = False
+
     def __init__(self, num_items: int, dim: int = 32, num_blocks: int = 2,
                  num_heads: int = 4, max_seq_len: int = 33,
                  mask_prob: float = 0.3, dropout: float = 0.1, seed: int = 0):

@@ -1,11 +1,13 @@
 """Command-line interface for the PMMRec reproduction.
 
-Four subcommands mirror the library's main workflows::
+Six subcommands mirror the library's main workflows::
 
     repro datasets [--profile paper]            # Table II style statistics
     repro train --dataset kwai_food             # train one model
     repro transfer --sources bili,kwai --target hm_shoes --setting full
     repro experiment table4 [--profile paper]   # regenerate a paper table
+    repro serve --scenarios kwai_food:sasrec,bili_food:pmmrec-text
+    repro bench-serve --dataset kwai_food --model sasrec
 
 Every subcommand is importable (``main(argv)``) for tests.
 """
@@ -64,6 +66,44 @@ def build_parser() -> argparse.ArgumentParser:
                             help="table1..table8 or figure3 (or 'all')")
     experiment.add_argument("--profile", default=None)
     experiment.add_argument("--workers", type=int, default=None)
+
+    serve = sub.add_parser("serve",
+                           help="run the online recommendation service")
+    serve.add_argument("--scenarios", required=True,
+                       help="comma-separated dataset:model[:checkpoint] "
+                            "specs, e.g. kwai_food:sasrec,bili_food:pmmrec")
+    serve.add_argument("--profile", default=None)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--dtype", default="float32",
+                       choices=["float32", "float64"],
+                       help="serving precision for models and indices")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch flush size")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch flush timeout")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU entries per scenario (0 disables)")
+    serve.add_argument("--no-exclude-seen", action="store_true",
+                       help="allow recommending items already in a history")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--smoke", action="store_true",
+                       help="start in-process, answer one request per "
+                            "scenario over HTTP, then exit (CI)")
+
+    bench = sub.add_parser("bench-serve",
+                           help="benchmark serving latency/throughput")
+    bench.add_argument("--dataset", required=True)
+    bench.add_argument("--model", default="sasrec")
+    bench.add_argument("--checkpoint", default=None)
+    bench.add_argument("--profile", default=None)
+    bench.add_argument("--requests", type=int, default=256)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--batch", type=int, default=32,
+                       help="micro-batch width for the batched path")
+    bench.add_argument("--dtype", default="float32",
+                       choices=["float32", "float64"])
+    bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -75,13 +115,8 @@ def _cmd_datasets(args) -> int:
 
 
 def _make_model(name: str, dataset, seed: int):
-    if name.startswith("pmmrec"):
-        from .core import PMMRec, PMMRecConfig
-        modality = {"pmmrec": "multi", "pmmrec-text": "text",
-                    "pmmrec-vision": "vision"}[name]
-        return PMMRec(PMMRecConfig(modality=modality, seed=seed))
-    from .baselines import make_baseline
-    return make_baseline(name, dataset, seed=seed)
+    from .serve.registry import build_model
+    return build_model(name, dataset, seed=seed)
 
 
 def _cmd_train(args) -> int:
@@ -154,11 +189,92 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _build_service(args):
+    from .serve import ModelRegistry, RecommendationService
+    registry = ModelRegistry(profile=args.profile, dtype=args.dtype,
+                             exclude_seen=not args.no_exclude_seen)
+    for spec in args.scenarios.split(","):
+        if not spec.strip():
+            continue
+        scenario = registry.add(spec.strip(), seed=args.seed)
+        info = scenario.describe()
+        print(f"loaded {info['dataset']}:{info['model']} "
+              f"({info['num_items']} items, index v{info['index_version']}, "
+              f"{info['index_nbytes'] / 1024:.0f} KiB)")
+    return RecommendationService(registry, max_batch=args.max_batch,
+                                 max_wait_ms=args.max_wait_ms,
+                                 cache_size=args.cache_size)
+
+
+def _cmd_serve(args) -> int:
+    from .serve import make_server, serve_forever
+    service = _build_service(args)
+    if not args.smoke:
+        serve_forever(service, host=args.host, port=args.port)
+        return 0
+    # Smoke mode: bind an ephemeral port, answer one real HTTP request per
+    # scenario, verify it against direct top-k retrieval, and exit.
+    import json as _json
+    import urllib.request
+
+    import numpy as np
+    server = make_server(service, host=args.host, port=0)
+    server.start_background()
+    failures = 0
+    try:
+        for scenario in service.registry:
+            dataset = scenario.dataset
+            history = [int(i) for i in dataset.split.test[0].history]
+            body = _json.dumps({"dataset": scenario.spec.dataset,
+                                "model": scenario.spec.model,
+                                "history": history, "k": 10}).encode()
+            request = urllib.request.Request(
+                server.url + "/recommend", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = _json.load(response)
+            expected = scenario.recommender.recommend(history, k=10)
+            ok = np.array_equal(payload["items"], expected.items)
+            failures += 0 if ok else 1
+            print(f"smoke {scenario.spec.dataset}:{scenario.spec.model} "
+                  f"-> top-{len(payload['items'])} "
+                  f"{'OK' if ok else 'MISMATCH'} "
+                  f"({payload['latency_ms']:.1f} ms)")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    print("serve smoke:", "PASS" if failures == 0 else "FAIL")
+    return 1 if failures else 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from .serve import (ModelRegistry, compare_paths, render_comparison,
+                        request_stream)
+    from .serve.registry import ScenarioSpec
+    registry = ModelRegistry(profile=args.profile, dtype=args.dtype)
+    scenario = registry.add(ScenarioSpec(dataset=args.dataset,
+                                         model=args.model,
+                                         checkpoint=args.checkpoint or None),
+                            seed=args.seed)
+    histories = request_stream(scenario.dataset, args.requests,
+                               seed=args.seed)
+    comparison = compare_paths(scenario.recommender, histories, k=args.k,
+                               batch_size=args.batch)
+    print(render_comparison(
+        comparison,
+        title=f"serve benchmark — {args.dataset}:{args.model} "
+              f"({scenario.dataset.num_items} items, {args.dtype}, "
+              f"k={args.k})"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
-                "transfer": _cmd_transfer, "experiment": _cmd_experiment}
+                "transfer": _cmd_transfer, "experiment": _cmd_experiment,
+                "serve": _cmd_serve, "bench-serve": _cmd_bench_serve}
     return handlers[args.command](args)
 
 

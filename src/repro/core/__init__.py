@@ -5,13 +5,14 @@ from .corruption import (LABEL_REPLACED, LABEL_SHUFFLED, LABEL_UNCHANGED,
                          CorruptionResult, corrupt_batch)
 from .losses import (alignment_loss, batch_structure, dap_loss,
                      masked_mean_pool, nid_loss, rcl_loss)
-from .model import ItemEncodings, PMMRec
+from .model import PMMREC_VARIANTS, ItemEncodings, PMMRec, make_pmmrec
 from .transfer import (TRANSFER_SETTINGS, build_target_model,
                        transfer_components, transferred_model)
 from .user_encoder import UserEncoder
 
 __all__ = [
     "PMMRec", "PMMRecConfig", "ItemEncodings", "UserEncoder",
+    "PMMREC_VARIANTS", "make_pmmrec",
     "ALIGNMENT_CHOICES", "MODALITY_CHOICES",
     "corrupt_batch", "CorruptionResult",
     "LABEL_UNCHANGED", "LABEL_SHUFFLED", "LABEL_REPLACED",

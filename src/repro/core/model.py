@@ -27,7 +27,31 @@ from .losses import (alignment_loss, batch_structure, dap_loss, nid_loss,
                      rcl_loss)
 from .user_encoder import UserEncoder
 
-__all__ = ["PMMRec", "ItemEncodings"]
+__all__ = ["PMMRec", "ItemEncodings", "PMMREC_VARIANTS", "make_pmmrec"]
+
+#: Named PMMRec variants: modality switches plus the objective ablations
+#: of Table VIII. One factory serves the experiment cells, the CLI and
+#: the serving registry so the mappings cannot drift.
+PMMREC_VARIANTS: dict[str, dict] = {
+    "pmmrec": {},
+    "pmmrec-text": {"modality": "text"},
+    "pmmrec-vision": {"modality": "vision"},
+    "pmmrec-wo-nicl": {"alignment": "none"},
+    "pmmrec-only-vcl": {"alignment": "vcl"},
+    "pmmrec-only-icl": {"alignment": "icl"},
+    "pmmrec-only-ncl": {"alignment": "ncl"},
+    "pmmrec-wo-nid": {"use_nid": False},
+    "pmmrec-wo-rcl": {"use_rcl": False},
+}
+
+
+def make_pmmrec(variant: str, seed: int = 0) -> "PMMRec":
+    """Build the named PMMRec variant (modality or ablation)."""
+    if variant not in PMMREC_VARIANTS:
+        raise KeyError(f"unknown PMMRec variant {variant!r}; "
+                       f"choose from {sorted(PMMREC_VARIANTS)}")
+    from .config import PMMRecConfig
+    return PMMRec(PMMRecConfig(seed=seed, **PMMREC_VARIANTS[variant]))
 
 
 @dataclass
@@ -129,22 +153,15 @@ class PMMRec(nn.Module):
 
         Returns ``(N, num_items+1)`` logits; column 0 (padding) should be
         ignored by callers. ``catalog`` may be passed to reuse a
-        precomputed :meth:`encode_catalog` matrix.
+        precomputed :meth:`encode_catalog` matrix. Scoring goes through
+        the shared kernel so offline eval and online serving share one
+        hot path.
         """
-        from ..data.batching import pad_sequences
+        from ..eval.scoring import score_batch
         if catalog is None:
             catalog = self.encode_catalog(dataset)
-        batch = pad_sequences(histories, max_len=self.config.max_seq_len)
-        was_training = self.training
-        self.eval()
-        with nn.no_grad():
-            reps = Tensor._wrap(catalog[batch.item_ids]
-                                * batch.mask[:, :, None])
-            hidden = self.sequence_hidden(reps, batch.mask).data
-        self.train(was_training)
-        last = batch.mask.sum(axis=1) - 1
-        final = hidden[np.arange(len(histories)), last]
-        return final @ catalog.T
+        return score_batch(self, catalog, histories,
+                           max_seq_len=self.config.max_seq_len)
 
     # -- training objective ------------------------------------------------------------
 

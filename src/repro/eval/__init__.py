@@ -3,6 +3,9 @@
 from .evaluator import evaluate_model, evaluate_ranking
 from .metrics import (DEFAULT_KS, hit_ratio, metrics_from_ranks, ndcg,
                       rank_of_target)
+from .scoring import batch_scorer, model_max_len, score_batch, supports_kernel
 
 __all__ = ["evaluate_model", "evaluate_ranking", "hit_ratio", "ndcg",
-           "rank_of_target", "metrics_from_ranks", "DEFAULT_KS"]
+           "rank_of_target", "metrics_from_ranks", "DEFAULT_KS",
+           "score_batch", "batch_scorer", "supports_kernel",
+           "model_max_len"]

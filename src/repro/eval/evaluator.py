@@ -24,7 +24,9 @@ def evaluate_ranking(score_fn: ScoreFn, examples: Sequence[EvalExample],
     matrix (column 0 = padding, ignored).
     """
     if not examples:
-        return {f"{m}@{k}": 0.0 for k in ks for m in ("hr", "ndcg")}
+        # Emit every metric family metrics_from_ranks produces (not a
+        # hardcoded subset) so callers never branch on result shape.
+        return metrics_from_ranks(np.empty(0, dtype=np.int64), ks=ks)
     all_ranks: list[np.ndarray] = []
     # Score under no_grad so every model goes through the substrate's
     # closure-free inference fast path, whether or not it guards itself.
@@ -42,16 +44,21 @@ def evaluate_model(model, dataset, examples: Sequence[EvalExample],
                    batch_size: int = 128) -> dict[str, float]:
     """Evaluate any model exposing ``score_histories(dataset, histories)``.
 
-    The item catalogue is encoded once (when the model supports it) and
-    reused across batches.
+    Kernel-capable models (the catalogue protocol) score through the
+    shared kernel (:mod:`repro.eval.scoring`) — the catalogue is encoded
+    once and each chunk is a single gather + user-encoder pass + matmul,
+    with no per-chunk train/eval toggling or redundant Tensor wrapping —
+    so offline eval and online serving exercise one hot path. Anything
+    else falls back to its own ``score_histories``.
     """
-    catalog = None
-    if hasattr(model, "encode_catalog"):
-        catalog = model.encode_catalog(dataset)
-
-    def score_fn(histories: list[np.ndarray]) -> np.ndarray:
-        if catalog is not None:
-            return model.score_histories(dataset, histories, catalog=catalog)
-        return model.score_histories(dataset, histories)
-
-    return evaluate_ranking(score_fn, examples, ks=ks, batch_size=batch_size)
+    from .scoring import batch_scorer
+    score_fn = batch_scorer(model, dataset)
+    was_training = bool(getattr(model, "training", False))
+    if was_training:
+        model.eval()
+    try:
+        return evaluate_ranking(score_fn, examples, ks=ks,
+                                batch_size=batch_size)
+    finally:
+        if was_training:
+            model.train(True)

@@ -14,18 +14,28 @@ from ..data import build_dataset, cold_start_examples, fuse_datasets
 from ..eval import evaluate_model
 from ..nn.serialization import load_checkpoint, save_checkpoint
 from ..train import TrainConfig, Trainer
-from .runner import cache_dir
+from .runner import EXPERIMENT_DTYPE, cache_dir
 
 __all__ = ["source_performance", "pretrain_model", "transfer_finetune",
             "ablation_variant", "design_ablation"]
+
+#: Experiment precision (frozen in runner.EXPERIMENT_DTYPE, REPRO_DTYPE
+#: overrides). The PR-1 substrate made float32 a first-class dtype
+#: (≈2× on the matmul-bound paths) and the tables' rank-based metrics
+#: are insensitive to the cast (deltas recorded in
+#: results/float32_notes.md), so every cell now trains and evaluates in
+#: float32; the result cache keys on the same frozen constant.
 
 #: Training budgets per phase (see DESIGN.md §5): from-scratch modality
 #: models converge slowly (that is itself a paper finding, Fig. 3), so
 #: scratch runs get a long budget; fine-tuning from a pre-trained state
 #: converges within a few epochs.
-SCRATCH = dict(epochs=60, patience=8, batch_size=32, eval_every=2)
-PRETRAIN = dict(epochs=16, patience=4, batch_size=32, eval_every=2)
-FINETUNE = dict(epochs=24, patience=5, batch_size=24)
+SCRATCH = dict(epochs=60, patience=8, batch_size=32, eval_every=2,
+               dtype=EXPERIMENT_DTYPE)
+PRETRAIN = dict(epochs=16, patience=4, batch_size=32, eval_every=2,
+                dtype=EXPERIMENT_DTYPE)
+FINETUNE = dict(epochs=24, patience=5, batch_size=24,
+                dtype=EXPERIMENT_DTYPE)
 
 #: Modality-based models optimize reliably at a higher learning rate than
 #: the ID-based ones at this scale (per-method LR tuning, as is standard).
@@ -43,26 +53,8 @@ _EVAL_KS = (10, 20, 50)
 
 def _make_pmmrec(variant: str, seed: int) -> PMMRec:
     """PMMRec factory for the named variant (modality or ablation)."""
-    base = dict(seed=seed)
-    if variant == "pmmrec":
-        return PMMRec(PMMRecConfig(**base))
-    if variant == "pmmrec-text":
-        return PMMRec(PMMRecConfig(modality="text", **base))
-    if variant == "pmmrec-vision":
-        return PMMRec(PMMRecConfig(modality="vision", **base))
-    if variant == "pmmrec-wo-nicl":
-        return PMMRec(PMMRecConfig(alignment="none", **base))
-    if variant == "pmmrec-only-vcl":
-        return PMMRec(PMMRecConfig(alignment="vcl", **base))
-    if variant == "pmmrec-only-icl":
-        return PMMRec(PMMRecConfig(alignment="icl", **base))
-    if variant == "pmmrec-only-ncl":
-        return PMMRec(PMMRecConfig(alignment="ncl", **base))
-    if variant == "pmmrec-wo-nid":
-        return PMMRec(PMMRecConfig(use_nid=False, **base))
-    if variant == "pmmrec-wo-rcl":
-        return PMMRec(PMMRecConfig(use_rcl=False, **base))
-    raise KeyError(f"unknown PMMRec variant {variant!r}")
+    from ..core import make_pmmrec
+    return make_pmmrec(variant, seed=seed)
 
 
 def _build(method: str, dataset, seed: int):

@@ -23,7 +23,14 @@ __all__ = ["cache_dir", "cell_key", "run_cells", "load_cached",
            "CACHE_VERSION"]
 
 #: Bump to invalidate all cached results after behaviour-changing edits.
-CACHE_VERSION = 4
+#: v5: experiment cells flipped to float32 (REPRO_DTYPE overrides).
+CACHE_VERSION = 5
+
+#: Active experiment precision, frozen at import so the training dtype
+#: (cells.py budgets) and the cache key always agree. REPRO_DTYPE
+#: overrides; tests toggling precision in-process must patch this AND
+#: the cells budgets together (see scripts/validate_float32.py).
+EXPERIMENT_DTYPE = os.environ.get("REPRO_DTYPE", "float32")
 
 
 def cache_dir() -> Path:
@@ -38,8 +45,13 @@ def cache_dir() -> Path:
 
 
 def cell_key(fn_name: str, **kwargs) -> str:
-    """Stable cache key for one cell invocation."""
-    payload = json.dumps({"fn": fn_name, "v": CACHE_VERSION, **kwargs},
+    """Stable cache key for one cell invocation.
+
+    The active experiment precision (``EXPERIMENT_DTYPE``) is part of
+    the key so float32 and float64 results never alias.
+    """
+    payload = json.dumps({"fn": fn_name, "v": CACHE_VERSION,
+                          "dtype": EXPERIMENT_DTYPE, **kwargs},
                          sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
 

@@ -11,7 +11,7 @@ from .convolution import CausalConv1d, NextItNetResidualBlock
 from .modules import (Dropout, Embedding, FeedForward, Identity, LayerNorm,
                       Linear, Module, ModuleList, Sequential)
 from .ops import (cosine_similarity, cross_entropy, dropout, embedding, gelu,
-                  info_nce, log_softmax, masked_fill, softmax, take_rows)
+                  info_nce, log_softmax, masked_fill, softmax, take_rows, topk)
 from .optim import (Adam, AdamW, ConstantSchedule, SGD, WarmupCosineSchedule,
                     clip_grad_norm)
 from .recurrent import GRU, GRUCell
@@ -30,7 +30,7 @@ __all__ = [
     "MultiHeadAttention", "TransformerBlock", "causal_mask", "padding_mask",
     "GRU", "GRUCell", "CausalConv1d", "NextItNetResidualBlock",
     "softmax", "log_softmax", "cross_entropy", "embedding", "take_rows",
-    "gelu", "masked_fill", "dropout", "info_nce", "cosine_similarity",
+    "topk", "gelu", "masked_fill", "dropout", "info_nce", "cosine_similarity",
     "SGD", "Adam", "AdamW", "clip_grad_norm",
     "ConstantSchedule", "WarmupCosineSchedule",
     "save_checkpoint", "load_checkpoint", "filter_state", "strip_prefix",

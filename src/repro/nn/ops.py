@@ -23,6 +23,7 @@ from .tensor import Tensor, as_tensor, is_grad_enabled, where
 __all__ = [
     "softmax", "log_softmax", "cross_entropy", "embedding", "gelu",
     "masked_fill", "dropout", "info_nce", "cosine_similarity", "take_rows",
+    "topk",
 ]
 
 _NEG_INF = -1e9
@@ -98,6 +99,49 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
 def take_rows(matrix: Tensor, row_indices: np.ndarray) -> Tensor:
     """Differentiable ``matrix[row_indices]`` (alias of :func:`embedding`)."""
     return embedding(matrix, row_indices)
+
+
+def topk(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise top-``k`` of a score matrix: ``(values, indices)``.
+
+    Results are ordered by descending score with ties broken by lower
+    index — exactly a stable descending sort truncated to ``k`` — but
+    computed with ``np.argpartition`` (O(n + k log k) per row instead of
+    O(n log n)), which is what makes full-catalogue retrieval cheap at
+    serving time. ``k`` larger than the row length is clamped. A 1-D
+    input returns 1-D outputs.
+    """
+    scores = np.asarray(scores)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    single = scores.ndim == 1
+    mat = scores[None, :] if single else scores
+    if mat.ndim != 2:
+        raise ValueError(f"scores must be 1-D or 2-D, got shape {scores.shape}")
+    n = mat.shape[-1]
+    k = min(int(k), n)
+    if k == n:
+        idx = np.argsort(-mat, axis=-1, kind="stable")
+    else:
+        part = np.argpartition(-mat, k - 1, axis=-1)[:, :k]
+        vals = np.take_along_axis(mat, part, axis=-1)
+        # argpartition returns *a* top-k set; when the cut value also
+        # occurs outside it, the stable-sort contract keeps the lowest
+        # indices, so those rows are rebuilt exactly.
+        cut = vals.min(axis=-1)
+        selected_at_cut = (vals == cut[:, None]).sum(axis=-1)
+        total_at_cut = (mat == cut[:, None]).sum(axis=-1)
+        for row in np.flatnonzero(total_at_cut > selected_at_cut):
+            above = np.flatnonzero(mat[row] > cut[row])
+            tied = np.flatnonzero(mat[row] == cut[row])[:k - above.size]
+            part[row] = np.concatenate([above, tied])
+            vals[row] = mat[row, part[row]]
+        order = np.lexsort((part, -vals), axis=-1)
+        idx = np.take_along_axis(part, order, axis=-1)
+    out_vals = np.take_along_axis(mat, idx, axis=-1)
+    if single:
+        return out_vals[0], idx[0]
+    return out_vals, idx
 
 
 def gelu(x: Tensor) -> Tensor:

@@ -1,0 +1,41 @@
+"""``repro.serve`` — the online recommendation serving subsystem.
+
+Turns any model exposing the ``encode_catalog`` / ``sequence_hidden``
+protocol (PMMRec and every sequential baseline) into an online service:
+
+* :mod:`~repro.serve.scoring` — the batch-scoring kernel shared with
+  offline evaluation (one hot path for tables and traffic);
+* :class:`CatalogIndex` — precomputed, versioned item representations;
+* :class:`Recommender` — ``recommend(history, k)`` with argpartition
+  top-k and seen-item exclusion;
+* :class:`MicroBatcher` — size/timeout request coalescing + LRU cache;
+* :class:`ModelRegistry` — many (dataset, model) scenarios, one process;
+* :class:`RecommendationService` + :mod:`~repro.serve.http` — the JSON
+  endpoint behind ``repro serve``;
+* :mod:`~repro.serve.bench` — p50/p99/QPS measurement for
+  ``repro bench-serve``.
+
+See ``docs/serving.md`` for the architecture and the endpoint contract.
+"""
+
+from .batcher import BatcherStats, LRUCache, MicroBatcher
+from .bench import (BenchReport, bench_full_sort_path, bench_topk_path,
+                    compare_paths, render_comparison, request_stream)
+from .http import RecommendationServer, make_server, serve_forever
+from .index import CatalogIndex
+from .recommender import Recommendation, Recommender
+from .registry import ModelRegistry, Scenario, ScenarioSpec, build_model
+from .scoring import batch_scorer, model_max_len, score_batch, supports_kernel
+from .service import RecommendationService
+
+__all__ = [
+    "score_batch", "batch_scorer", "supports_kernel", "model_max_len",
+    "CatalogIndex",
+    "Recommendation", "Recommender",
+    "MicroBatcher", "LRUCache", "BatcherStats",
+    "ModelRegistry", "Scenario", "ScenarioSpec", "build_model",
+    "RecommendationService",
+    "RecommendationServer", "make_server", "serve_forever",
+    "BenchReport", "bench_topk_path", "bench_full_sort_path",
+    "compare_paths", "render_comparison", "request_stream",
+]

@@ -1,0 +1,248 @@
+"""Request micro-batching: coalesce concurrent requests into one pass.
+
+The numpy substrate's throughput scales with batch width (one user
+encoder pass over ``(B, L, d)`` costs barely more than over
+``(1, L, d)``), so the server queues incoming requests and flushes them
+as one ``recommend_batch`` call when either the batch is full (*size*
+trigger) or the oldest request has waited ``max_wait_ms`` (*timeout*
+trigger). Repeat users hit an LRU cache keyed on the history hash, the
+requested ``k`` and the catalogue index version, and never reach the
+model at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .recommender import Recommendation, Recommender
+
+__all__ = ["BatcherStats", "LRUCache", "MicroBatcher"]
+
+
+@dataclass
+class BatcherStats:
+    """Counters for capacity tuning (exposed on the ``/stats`` endpoint)."""
+
+    requests: int = 0
+    batches: int = 0
+    size_flushes: int = 0
+    timeout_flushes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    largest_batch: int = 0
+
+    def to_json(self) -> dict:
+        out = dict(self.__dict__)
+        out["mean_batch"] = (self.coalesced / self.batches
+                             if self.batches else 0.0)
+        return out
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that went through a flushed batch (misses only)."""
+        return self.cache_misses
+
+
+class LRUCache:
+    """A small thread-safe LRU mapping request keys to recommendations."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        with self._lock:
+            if key not in self._data:
+                return None
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+
+def _request_key(history: np.ndarray, k: int, version: int) -> tuple:
+    return (history.tobytes(), int(k), int(version))
+
+
+@dataclass
+class _Pending:
+    history: np.ndarray
+    k: int
+    key: tuple
+    enqueued: float = field(default_factory=time.monotonic)
+    future: Future = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Queue + worker thread that turns single requests into batches.
+
+    ``submit`` returns a ``concurrent.futures.Future``; ``recommend`` is
+    the blocking convenience wrapper. Construct with ``start=False`` to
+    drive flushing manually via :meth:`flush_pending` (used by tests and
+    the offline benchmark, where a background thread only adds noise).
+    """
+
+    def __init__(self, recommender: Recommender, max_batch: int = 32,
+                 max_wait_ms: float = 2.0, cache_size: int = 1024,
+                 start: bool = True):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.recommender = recommender
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self.cache = LRUCache(cache_size)
+        self.stats = BatcherStats()
+        self._pending: list[_Pending] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if start:
+            self._thread = threading.Thread(target=self._worker,
+                                            name="repro-serve-batcher",
+                                            daemon=True)
+            self._thread.start()
+
+    # -- client side ---------------------------------------------------------
+
+    def submit(self, history, k: int = 10) -> Future:
+        """Enqueue one request; resolves to a :class:`Recommendation`."""
+        history = np.asarray(history, dtype=np.int64)
+        key = _request_key(history, k, self.recommender.index_version)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self.stats.requests += 1
+            # A stale index means the current version number still names
+            # the pre-update snapshot: bypass the cache so the flush
+            # rebuilds and the result is cached under the new version.
+            hit = (None if getattr(self.recommender, "index_stale", False)
+                   else self.cache.get(key))
+            if hit is not None:
+                self.stats.cache_hits += 1
+                future: Future = Future()
+                future.set_result(Recommendation(
+                    items=hit.items, scores=hit.scores,
+                    index_version=hit.index_version, cached=True))
+                return future
+            self.stats.cache_misses += 1
+            request = _Pending(history=history, k=k, key=key)
+            self._pending.append(request)
+            self._cond.notify_all()
+            return request.future
+
+    def recommend(self, history, k: int = 10,
+                  timeout: float | None = 30.0) -> Recommendation:
+        """Blocking submit; flushes inline when no worker thread runs."""
+        future = self.submit(history, k=k)
+        if self._thread is None and not future.done():
+            self.flush_pending()
+        return future.result(timeout=timeout)
+
+    # -- flushing ------------------------------------------------------------
+
+    def _drain(self) -> list[_Pending]:
+        batch = self._pending[:self.max_batch]
+        self._pending = self._pending[self.max_batch:]
+        return batch
+
+    def _execute(self, batch: list[_Pending], trigger: str) -> None:
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if trigger == "size":
+            self.stats.size_flushes += 1
+        else:
+            self.stats.timeout_flushes += 1
+        # All requests in a batch share one k so the top-k pass is a single
+        # matrix operation; mixed-k batches use the largest and truncate.
+        k_max = max(p.k for p in batch)
+        try:
+            results = self.recommender.recommend_batch(
+                [p.history for p in batch], k=k_max)
+        except Exception as exc:  # propagate to every waiter
+            for pending in batch:
+                if not pending.future.cancelled():
+                    pending.future.set_exception(exc)
+            return
+        for pending, result in zip(batch, results):
+            if pending.k < len(result.items):
+                result = Recommendation(items=result.items[:pending.k],
+                                        scores=result.scores[:pending.k],
+                                        index_version=result.index_version)
+            # Cache under the index version that actually produced the
+            # answer — a refresh may have landed after submit keyed it.
+            self.cache.put((pending.key[0], pending.k,
+                            result.index_version), result)
+            if not pending.future.cancelled():
+                pending.future.set_result(result)
+
+    def flush_pending(self) -> int:
+        """Flush everything queued right now (manual mode); returns count."""
+        flushed = 0
+        while True:
+            with self._cond:
+                batch = self._drain()
+            if not batch:
+                return flushed
+            trigger = "size" if len(batch) >= self.max_batch else "timeout"
+            self._execute(batch, trigger)
+            flushed += len(batch)
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                # The clock runs from the *oldest request's arrival*, not
+                # from when the worker woke up — a request that queued
+                # while the previous batch executed must not wait a full
+                # extra max_wait.
+                deadline = self._pending[0].enqueued + self.max_wait
+                while (len(self._pending) < self.max_batch
+                       and not self._closed):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                trigger = ("size" if len(self._pending) >= self.max_batch
+                           else "timeout")
+                batch = self._drain()
+            self._execute(batch, trigger)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the worker after draining anything still queued."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.flush_pending()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,135 @@
+"""Latency / throughput benchmarking for the serving stack.
+
+Drives a :class:`~repro.serve.recommender.Recommender` with a stream of
+request histories and reports p50/p99 latency and QPS, comparing the
+serving hot path (batched scoring + argpartition top-k) against the
+naive reference (one request at a time, full-catalogue ``argsort``).
+Used by ``repro bench-serve`` and ``benchmarks/test_serve_perf.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .recommender import Recommender
+
+__all__ = ["BenchReport", "bench_topk_path", "bench_full_sort_path",
+           "compare_paths", "request_stream", "render_comparison"]
+
+
+@dataclass
+class BenchReport:
+    """Latency distribution and throughput of one benchmarked path."""
+
+    name: str
+    requests: int
+    batch_size: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    total_s: float
+    qps: float
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+
+def request_stream(dataset, count: int, seed: int = 0,
+                   repeat_frac: float = 0.0) -> list[np.ndarray]:
+    """Sample request histories from a dataset's evaluation split.
+
+    ``repeat_frac`` re-issues a fraction of earlier requests, modelling
+    repeat users (this is what the serving LRU cache feeds on).
+    """
+    rng = np.random.default_rng(seed)
+    examples = dataset.split.test
+    picks = rng.integers(0, len(examples), size=count)
+    histories = [np.asarray(examples[i].history) for i in picks]
+    if repeat_frac > 0.0 and count > 1:
+        repeats = rng.random(count) < repeat_frac
+        repeats[0] = False
+        for pos in np.flatnonzero(repeats):
+            histories[pos] = histories[int(rng.integers(0, pos))]
+    return histories
+
+
+def _report(name: str, latencies_s: list[float], requests: int,
+            batch_size: int, total_s: float) -> BenchReport:
+    lat_ms = np.asarray(latencies_s) * 1e3
+    return BenchReport(
+        name=name, requests=requests, batch_size=batch_size,
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        mean_ms=float(lat_ms.mean()),
+        total_s=total_s,
+        qps=requests / total_s if total_s > 0 else float("inf"))
+
+
+def bench_topk_path(recommender: Recommender, histories: list[np.ndarray],
+                    k: int = 10, batch_size: int = 32) -> BenchReport:
+    """The serving path: micro-batched scoring + argpartition top-k.
+
+    Per-request latency within a batch is the batch wall time (every
+    request in a coalesced flush waits for the whole batch) — the same
+    accounting a real queue would produce.
+    """
+    latencies: list[float] = []
+    start = time.perf_counter()
+    for lo in range(0, len(histories), batch_size):
+        chunk = histories[lo:lo + batch_size]
+        tick = time.perf_counter()
+        recommender.recommend_batch(chunk, k=k)
+        elapsed = time.perf_counter() - tick
+        latencies.extend([elapsed] * len(chunk))
+    total = time.perf_counter() - start
+    return _report(f"batched-top{k}", latencies, len(histories), batch_size,
+                   total)
+
+
+def bench_full_sort_path(recommender: Recommender,
+                         histories: list[np.ndarray],
+                         k: int = 10) -> BenchReport:
+    """The naive reference: one request per pass, full-catalogue argsort."""
+    latencies: list[float] = []
+    start = time.perf_counter()
+    for history in histories:
+        tick = time.perf_counter()
+        scores = recommender.score([np.asarray(history)])[0]
+        scores[0] = -np.inf
+        order = np.argsort(-scores, kind="stable")   # full O(n log n) sort
+        order = order[:k]                            # the answer it would ship
+        latencies.append(time.perf_counter() - tick)
+    total = time.perf_counter() - start
+    return _report("sequential-full-sort", latencies, len(histories), 1,
+                   total)
+
+
+def compare_paths(recommender: Recommender, histories: list[np.ndarray],
+                  k: int = 10, batch_size: int = 32) -> dict:
+    """Run both paths on the same request stream; returns both reports."""
+    recommender.refresh()      # index build paid up front, outside timing
+    batched = bench_topk_path(recommender, histories, k=k,
+                              batch_size=batch_size)
+    sequential = bench_full_sort_path(recommender, histories, k=k)
+    speedup = (sequential.total_s / batched.total_s
+               if batched.total_s > 0 else float("inf"))
+    return {"batched": batched, "sequential": sequential,
+            "throughput_speedup": speedup}
+
+
+def render_comparison(comparison: dict, title: str = "serve benchmark") -> str:
+    """Human-readable table for the CLI and the results/ artifact."""
+    rows = [comparison["batched"], comparison["sequential"]]
+    lines = [title,
+             f"{'path':<24} {'req':>5} {'batch':>5} {'p50 ms':>8} "
+             f"{'p99 ms':>8} {'QPS':>8}"]
+    for report in rows:
+        lines.append(f"{report.name:<24} {report.requests:>5} "
+                     f"{report.batch_size:>5} {report.p50_ms:>8.2f} "
+                     f"{report.p99_ms:>8.2f} {report.qps:>8.1f}")
+    lines.append(f"throughput speedup (batched top-k vs sequential "
+                 f"full sort): {comparison['throughput_speedup']:.2f}x")
+    return "\n".join(lines)

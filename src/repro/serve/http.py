@@ -1,0 +1,165 @@
+"""Stdlib JSON-over-HTTP endpoint for the recommendation service.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough for a
+reproduction-scale deployment and keeps the dependency surface at zero.
+
+Endpoint contract (all bodies JSON):
+
+``GET /health``
+    ``{"status": "ok", "scenarios": <count>}``
+``GET /scenarios``
+    list of scenario descriptors (dataset, model, catalogue size, index
+    version/bytes)
+``GET /stats``
+    per-scenario micro-batcher counters + service settings
+``POST /recommend``
+    request ``{"dataset": str, "model": str, "history": [int, ...],
+    "k": int?}`` → ``{"items": [...], "scores": [...],
+    "index_version": int, "cached": bool, "latency_ms": float, ...}``
+``POST /refresh``
+    request ``{"dataset": str, "model": str}`` → ``{"index_version": int}``
+
+Errors come back as ``{"error": <message>}`` with status 400 (bad
+request), 404 (unknown route/scenario) or 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import RecommendationService
+
+__all__ = ["RecommendationServer", "make_server", "serve_forever"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table over the service owned by the server."""
+
+    server: "RecommendationServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------------
+
+    def _send(self, payload: dict | list, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._send({"error": message}, status=status)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:  # pragma: no cover - manual servers only
+            super().log_message(format, *args)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        service = self.server.service
+        if self.path == "/health":
+            self._send({"status": "ok",
+                        "scenarios": len(service.registry)})
+        elif self.path == "/scenarios":
+            self._send(service.scenarios())
+        elif self.path == "/stats":
+            self._send(service.stats())
+        else:
+            self._error(f"unknown route {self.path!r}", 404)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        service = self.server.service
+        try:
+            payload = self._read_json()
+        except ValueError as exc:
+            return self._error(str(exc), 400)
+        try:
+            if self.path == "/recommend":
+                history = payload.get("history")
+                if not isinstance(history, list) or not history:
+                    raise ValueError("'history' must be a non-empty list "
+                                     "of item ids")
+                result = service.recommend(
+                    str(payload.get("dataset", "")),
+                    str(payload.get("model", "")),
+                    history, k=int(payload.get("k", 10)))
+                self._send(result)
+            elif self.path == "/refresh":
+                version = service.refresh(str(payload.get("dataset", "")),
+                                          str(payload.get("model", "")))
+                self._send({"index_version": version})
+            else:
+                self._error(f"unknown route {self.path!r}", 404)
+        except KeyError as exc:
+            self._error(str(exc.args[0]) if exc.args else str(exc), 404)
+        except (ValueError, TypeError) as exc:
+            self._error(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(f"internal error: {exc}", 500)
+
+
+class RecommendationServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`RecommendationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: RecommendationService,
+                 address: tuple[str, int], verbose: bool = False):
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests / in-process smoke checks)."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-serve-http", daemon=True)
+        thread.start()
+        return thread
+
+
+def make_server(service: RecommendationService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> RecommendationServer:
+    """Bind (port 0 picks a free ephemeral port) without serving yet."""
+    return RecommendationServer(service, (host, port), verbose=verbose)
+
+
+def serve_forever(service: RecommendationService, host: str = "127.0.0.1",
+                  port: int = 8765, verbose: bool = True) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    print(f"serving {len(service.registry)} scenario(s) on {server.url}")
+    for line in service.scenarios():
+        print(f"  {line['dataset']}:{line['model']} "
+              f"({line['num_items']} items, "
+              f"index v{line['index_version']})")
+    print("POST /recommend  "
+          '{"dataset": ..., "model": ..., "history": [...], "k": 10}')
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

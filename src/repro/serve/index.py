@@ -1,0 +1,109 @@
+"""Versioned in-memory catalogue index for one (model, dataset) pair.
+
+Online retrieval never encodes items per request: the whole item
+catalogue is encoded once into a dense ``(num_items+1, d)`` matrix and
+held in memory, and every request is a gather + matmul against it. The
+index is *versioned* — ``refresh()`` republishes the matrix and bumps
+the version, and downstream caches (e.g. the micro-batcher's LRU) key
+on the version so stale entries miss naturally after a model update.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["CatalogIndex"]
+
+
+class CatalogIndex:
+    """Precomputed, versioned item-representation matrix.
+
+    ``dtype`` optionally down-casts the published matrix (float32 halves
+    the memory footprint and speeds up the scoring matmuls; the paper's
+    metrics are rank-based and insensitive to the cast). The matrix is
+    built lazily on first use and marked read-only, so every consumer
+    shares one buffer safely across threads.
+    """
+
+    def __init__(self, model, dataset, dtype=None, chunk_size: int = 256):
+        if not hasattr(model, "encode_catalog"):
+            raise TypeError(
+                f"{type(model).__name__} does not expose encode_catalog, "
+                "which indexed serving requires")
+        self.model = model
+        self.dataset = dataset
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self.chunk_size = chunk_size
+        self._matrix: np.ndarray | None = None
+        self._version = 0
+        self._stale = True
+        self._lock = threading.RLock()
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic publication counter (0 until the first build)."""
+        return self._version
+
+    @property
+    def num_items(self) -> int:
+        return self.dataset.num_items
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the published matrix (0 before the first build)."""
+        return 0 if self._matrix is None else self._matrix.nbytes
+
+    @property
+    def stale(self) -> bool:
+        """True when the next access will rebuild (version will change)."""
+        return self._stale or self._matrix is None
+
+    def mark_stale(self) -> None:
+        """Request a rebuild on next access (e.g. after a weight update).
+
+        Caches keyed on the version must treat a stale index as
+        uncacheable (see ``MicroBatcher.submit``): the current version
+        number still names the *old* snapshot until the rebuild runs.
+        """
+        self._stale = True
+
+    # -- building ------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Re-encode the catalogue and publish a new version; returns it."""
+        with self._lock:
+            matrix = self.model.encode_catalog(self.dataset,
+                                               chunk_size=self.chunk_size)
+            if self.dtype is not None and matrix.dtype != self.dtype:
+                matrix = matrix.astype(self.dtype)
+            matrix.flags.writeable = False
+            self._matrix = matrix
+            self._stale = False
+            self._version += 1
+            return self._version
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The current ``(num_items+1, d)`` matrix, building if stale."""
+        return self.snapshot()[0]
+
+    def snapshot(self) -> tuple[np.ndarray, int]:
+        """Atomically read ``(matrix, version)``, building if stale.
+
+        Scoring code must label results with the version from the same
+        snapshot it scored against — reading ``matrix`` and ``version``
+        separately can interleave with a concurrent :meth:`refresh`.
+        """
+        with self._lock:
+            if self._stale or self._matrix is None:
+                self.refresh()
+            return self._matrix, self._version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = None if self._matrix is None else self._matrix.shape
+        return (f"CatalogIndex(dataset={self.dataset.name!r}, "
+                f"version={self._version}, shape={shape})")

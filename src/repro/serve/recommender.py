@@ -1,0 +1,151 @@
+"""The online recommendation session API: ``recommend(history, k)``.
+
+Wraps one (model, dataset) pair behind a request-shaped interface:
+score the user's history against the catalogue index under ``no_grad``,
+mask out the padding item and (optionally) everything the user has
+already seen, and return the top-k via the argpartition-backed
+:func:`repro.nn.ops.topk` instead of a full-catalogue sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.ops import topk
+from .index import CatalogIndex
+from .scoring import model_max_len, score_batch, supports_kernel
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+@dataclass
+class Recommendation:
+    """Top-k answer for one request.
+
+    ``items`` are catalogue item ids best-first; ``scores`` the matching
+    model scores. When exclusion leaves fewer than ``k`` candidates the
+    answer is simply shorter than ``k`` — excluded/padding slots are
+    never shipped. ``index_version`` identifies the catalogue snapshot
+    that produced the answer; ``cached`` is set by the micro-batcher
+    when the answer came from its LRU.
+    """
+
+    items: np.ndarray
+    scores: np.ndarray
+    index_version: int
+    cached: bool = field(default=False, compare=False)
+
+    def to_json(self) -> dict:
+        """JSON-serializable form used by the HTTP endpoint."""
+        return {"items": [int(i) for i in self.items],
+                "scores": [float(s) for s in self.scores],
+                "index_version": self.index_version,
+                "cached": self.cached}
+
+
+class Recommender:
+    """Session-style top-k retrieval for one (model, dataset) scenario.
+
+    Kernel-capable models score through a :class:`CatalogIndex` (built
+    lazily, shared, versioned); heuristic models without the catalogue
+    protocol fall back to their own ``score_histories``. The model is
+    put in eval mode once at construction so the request path never
+    touches training state.
+    """
+
+    def __init__(self, model, dataset, index: CatalogIndex | None = None,
+                 exclude_seen: bool = True, index_dtype=None):
+        self.model = model
+        self.dataset = dataset
+        self.exclude_seen = exclude_seen
+        if hasattr(model, "eval"):
+            model.eval()
+        if index is None and hasattr(model, "encode_catalog"):
+            index = CatalogIndex(model, dataset, dtype=index_dtype)
+        self.index = index
+        self._use_kernel = supports_kernel(model)
+        self._max_len = model_max_len(model)
+
+    @property
+    def index_version(self) -> int:
+        """Version of the catalogue snapshot (0 for fallback models)."""
+        return 0 if self.index is None else self.index.version
+
+    @property
+    def index_stale(self) -> bool:
+        """True when the next request will rebuild the index."""
+        return self.index is not None and self.index.stale
+
+    def refresh(self) -> int:
+        """Rebuild the catalogue index (no-op for fallback models)."""
+        return 0 if self.index is None else self.index.refresh()
+
+    # -- scoring -------------------------------------------------------------
+
+    def score(self, histories: list[np.ndarray]) -> np.ndarray:
+        """Raw full-catalogue scores ``(N, num_items+1)`` for histories."""
+        return self._score_snapshot(histories)[0]
+
+    def _score_snapshot(self,
+                        histories: list[np.ndarray]) -> tuple[np.ndarray, int]:
+        """Score and return the index version of the matrix actually used."""
+        if self.index is None:
+            return self.model.score_histories(self.dataset, histories), 0
+        matrix, version = self.index.snapshot()
+        if self._use_kernel:
+            return score_batch(self.model, matrix, histories,
+                               max_seq_len=self._max_len), version
+        # Custom inference (e.g. BERT4Rec's mask-token query) keeps its
+        # own scoring but still reuses the precomputed index.
+        return self.model.score_histories(self.dataset, histories,
+                                          catalog=matrix), version
+
+    def _mask_scores(self, scores: np.ndarray,
+                     histories: list[np.ndarray],
+                     owned: bool) -> np.ndarray:
+        # The kernel path hands us a freshly allocated matrix we can mask
+        # in place — it is the largest per-request buffer, so avoid a
+        # second copy. Fallback models may return shared state: copy.
+        if not owned:
+            scores = np.array(scores, copy=True)
+        scores[:, 0] = -np.inf                      # padding pseudo-item
+        if self.exclude_seen:
+            rows = np.repeat(np.arange(len(histories)),
+                             [len(h) for h in histories])
+            cols = np.concatenate([np.asarray(h) for h in histories])
+            scores[rows, cols] = -np.inf
+        return scores
+
+    # -- request API ---------------------------------------------------------
+
+    def recommend(self, history, k: int = 10) -> Recommendation:
+        """Top-k next items for one user history."""
+        return self.recommend_batch([history], k=k)[0]
+
+    def recommend_batch(self, histories, k: int = 10) -> list[Recommendation]:
+        """Top-k for many histories in one batched scoring pass."""
+        histories = [np.asarray(h, dtype=np.int64) for h in histories]
+        for h in histories:
+            if h.size == 0:
+                raise ValueError("history must contain at least one item")
+            if h.min() < 1 or h.max() > self.dataset.num_items:
+                raise ValueError(
+                    f"history items must be in [1, {self.dataset.num_items}]")
+        raw, version = self._score_snapshot(histories)
+        scores = self._mask_scores(raw, histories,
+                                   owned=(self.index is not None
+                                          and self._use_kernel))
+        values, indices = topk(scores, k)
+        out = []
+        for row in range(len(histories)):
+            keep = np.isfinite(values[row])  # drop excluded/padding slots
+            items, top = indices[row][keep], values[row][keep]
+            # Served results are shared via the LRU cache; freeze them so
+            # one caller's mutation cannot corrupt another's answer.
+            items.setflags(write=False)
+            top.setflags(write=False)
+            out.append(Recommendation(items=items, scores=top,
+                                      index_version=version))
+        return out

@@ -1,0 +1,14 @@
+"""Serving-side alias of the shared batch-scoring kernel.
+
+The kernel itself lives in :mod:`repro.eval.scoring` — a lower layer
+that only depends on ``data.batching`` and ``nn.tensor`` — so models
+and the evaluator import it without depending on the serving stack.
+This module re-exports it under the serve namespace for the serving
+code and its callers.
+"""
+
+from ..eval.scoring import (ScoreFn, batch_scorer, model_max_len,
+                            score_batch, supports_kernel)
+
+__all__ = ["ScoreFn", "supports_kernel", "model_max_len", "score_batch",
+           "batch_scorer"]

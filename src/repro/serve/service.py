@@ -1,0 +1,110 @@
+"""The serving facade: registry routing + per-scenario micro-batchers.
+
+:class:`RecommendationService` is what the HTTP endpoint (and the CLI)
+talk to: it owns a :class:`~repro.serve.registry.ModelRegistry`, lazily
+attaches a :class:`~repro.serve.batcher.MicroBatcher` to each scenario,
+and answers ``recommend(dataset, model, history, k)`` with a
+JSON-serializable payload including the request latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .batcher import MicroBatcher
+from .recommender import Recommendation
+from .registry import ModelRegistry, Scenario
+
+__all__ = ["RecommendationService"]
+
+
+class RecommendationService:
+    """Route requests to scenarios, micro-batching each scenario's load."""
+
+    def __init__(self, registry: ModelRegistry, max_batch: int = 32,
+                 max_wait_ms: float = 2.0, cache_size: int = 1024,
+                 batching: bool = True):
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self.batching = batching
+        self._batchers: dict[tuple[str, str], MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- internals -----------------------------------------------------------
+
+    def _batcher(self, scenario: Scenario) -> MicroBatcher:
+        key = scenario.spec.key
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            existing = self._batchers.get(key)
+            if (existing is not None
+                    and existing.recommender is not scenario.recommender):
+                # The registry hot-swapped this scenario (re-add replaces
+                # it); retire the batcher bound to the old recommender.
+                existing.close()
+                existing = None
+            if existing is None:
+                existing = MicroBatcher(
+                    scenario.recommender, max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms, cache_size=self.cache_size,
+                    start=self.batching)
+                self._batchers[key] = existing
+            return existing
+
+    # -- request API ---------------------------------------------------------
+
+    def recommend(self, dataset: str, model: str, history,
+                  k: int = 10) -> dict:
+        """Answer one request; returns the JSON payload for the endpoint."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        scenario = self.registry.get(dataset, model)
+        start = time.perf_counter()
+        result: Recommendation = self._batcher(scenario).recommend(
+            history, k=k)
+        payload = result.to_json()
+        payload.update(dataset=dataset, model=model,
+                       latency_ms=(time.perf_counter() - start) * 1e3)
+        return payload
+
+    def refresh(self, dataset: str, model: str) -> int:
+        """Rebuild one scenario's catalogue index; returns the new version."""
+        return self.registry.get(dataset, model).recommender.refresh()
+
+    # -- introspection -------------------------------------------------------
+
+    def scenarios(self) -> list[dict]:
+        return self.registry.describe()
+
+    def stats(self) -> dict:
+        """Per-scenario batcher counters plus service-level settings."""
+        with self._lock:
+            snapshot = list(self._batchers.items())
+        per_scenario = {f"{d}:{m}": batcher.stats.to_json()
+                        for (d, m), batcher in snapshot}
+        return {"scenarios": per_scenario,
+                "settings": {"max_batch": self.max_batch,
+                             "max_wait_ms": self.max_wait_ms,
+                             "cache_size": self.cache_size,
+                             "batching": self.batching}}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -31,6 +31,16 @@ def test_evaluate_ranking_empty_examples():
     assert out == {"hr@10": 0.0, "ndcg@10": 0.0}
 
 
+def test_evaluate_ranking_empty_matches_metrics_from_ranks_families():
+    """Empty input must emit the same keys as a non-empty evaluation."""
+    from repro.eval.metrics import metrics_from_ranks
+    ks = (1, 5, 20)
+    empty = evaluate_ranking(lambda h: np.zeros((0, 5)), [], ks=ks)
+    populated = metrics_from_ranks(np.array([1, 3]), ks=ks)
+    assert list(empty) == list(populated)
+    assert all(value == 0.0 for value in empty.values())
+
+
 def test_evaluate_ranking_batches_consistently():
     rng = np.random.default_rng(0)
     examples = [EvalExample(history=np.array([1, 2]), target=int(t))
@@ -81,3 +91,27 @@ def test_evaluate_model_uses_encode_catalog_once():
                          batch_size=5)
     assert model.catalog_calls == 1
     assert "hr@10" in out
+
+
+def test_evaluate_model_kernel_matches_score_histories():
+    """The serve-kernel eval path must agree with per-model scoring."""
+    from repro.baselines import make_baseline
+    ds = build_dataset("kwai_food", profile="smoke")
+    model = make_baseline("sasrec", ds, seed=0)
+    via_kernel = evaluate_model(model, ds, ds.split.test[:20], ks=(5, 10))
+    via_model = evaluate_ranking(
+        lambda hs: model.score_histories(ds, hs), ds.split.test[:20],
+        ks=(5, 10))
+    assert via_kernel == via_model
+
+
+def test_evaluate_model_restores_training_mode():
+    from repro.baselines import make_baseline
+    ds = build_dataset("kwai_food", profile="smoke")
+    model = make_baseline("grurec", ds, seed=0)
+    model.train(True)
+    evaluate_model(model, ds, ds.split.test[:4], ks=(10,))
+    assert model.training is True
+    model.eval()
+    evaluate_model(model, ds, ds.split.test[:4], ks=(10,))
+    assert model.training is False

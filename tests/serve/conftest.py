@@ -1,0 +1,30 @@
+"""Shared fixtures for the serving-subsystem tests (smoke-scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline
+from repro.data import build_dataset
+from repro.serve import Recommender
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("kwai_food", profile="smoke")
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return make_baseline("sasrec", dataset, seed=0)
+
+
+@pytest.fixture(scope="module")
+def recommender(model, dataset):
+    return Recommender(model, dataset)
+
+
+def reference_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Stable full-sort reference the argpartition path must agree with."""
+    return np.argsort(-scores, axis=-1, kind="stable")[..., :k]

@@ -1,0 +1,161 @@
+"""MicroBatcher: flush triggers, coalescing, LRU cache accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, MicroBatcher
+
+
+@pytest.fixture()
+def histories(dataset):
+    return [ex.history for ex in dataset.split.test[:12]]
+
+
+def test_flush_on_size_trigger(recommender, histories):
+    with MicroBatcher(recommender, max_batch=4, max_wait_ms=10_000.0,
+                      cache_size=0) as batcher:
+        futures = [batcher.submit(h, k=3) for h in histories[:4]]
+        results = [f.result(timeout=30) for f in futures]
+    # The worker never had to wait out the clock: the 4th submit filled
+    # the batch.
+    assert batcher.stats.size_flushes >= 1
+    assert batcher.stats.requests == 4
+    for history, result in zip(histories[:4], results):
+        expected = recommender.recommend(history, k=3)
+        assert np.array_equal(result.items, expected.items)
+
+
+def test_flush_on_timeout_trigger(recommender, histories):
+    with MicroBatcher(recommender, max_batch=64, max_wait_ms=20.0,
+                      cache_size=0) as batcher:
+        future = batcher.submit(histories[0], k=3)
+        result = future.result(timeout=30)
+    assert batcher.stats.timeout_flushes == 1
+    assert batcher.stats.size_flushes == 0
+    assert np.array_equal(result.items,
+                          recommender.recommend(histories[0], k=3).items)
+
+
+def test_coalescing_batches_fewer_than_requests(recommender, histories):
+    with MicroBatcher(recommender, max_batch=6, max_wait_ms=50.0,
+                      cache_size=0) as batcher:
+        futures = [batcher.submit(h, k=3) for h in histories]
+        for future in futures:
+            future.result(timeout=30)
+    assert batcher.stats.requests == len(histories)
+    assert batcher.stats.batches < len(histories)
+    assert batcher.stats.largest_batch > 1
+
+
+def test_lru_cache_hit_and_miss_accounting(recommender, histories):
+    with MicroBatcher(recommender, max_batch=4, max_wait_ms=5.0,
+                      cache_size=8) as batcher:
+        first = batcher.recommend(histories[0], k=3)
+        assert first.cached is False
+        again = batcher.recommend(histories[0], k=3)
+        assert again.cached is True
+        assert np.array_equal(first.items, again.items)
+        # Different k is a different request.
+        other_k = batcher.recommend(histories[0], k=2)
+        assert other_k.cached is False
+    assert batcher.stats.cache_hits == 1
+    assert batcher.stats.cache_misses == 2
+
+
+def test_stale_index_bypasses_cache_until_rebuilt(recommender, histories):
+    with MicroBatcher(recommender, max_batch=4, max_wait_ms=5.0,
+                      cache_size=8) as batcher:
+        first = batcher.recommend(histories[0], k=3)
+        # Weight update: version number still names the old snapshot, so
+        # the cached answer must not be served.
+        recommender.index.mark_stale()
+        after = batcher.recommend(histories[0], k=3)
+        assert after.cached is False
+        assert after.index_version == first.index_version + 1
+        # Once rebuilt, caching resumes under the new version.
+        again = batcher.recommend(histories[0], k=3)
+        assert again.cached is True
+
+
+def test_cache_invalidated_by_index_refresh(recommender, histories):
+    with MicroBatcher(recommender, max_batch=4, max_wait_ms=5.0,
+                      cache_size=8) as batcher:
+        batcher.recommend(histories[0], k=3)
+        recommender.refresh()          # new index version => new cache keys
+        refreshed = batcher.recommend(histories[0], k=3)
+        assert refreshed.cached is False
+    assert batcher.stats.cache_hits == 0
+
+
+def test_manual_mode_flushes_inline(recommender, histories):
+    batcher = MicroBatcher(recommender, max_batch=4, cache_size=0,
+                           start=False)
+    result = batcher.recommend(histories[0], k=3)
+    assert np.array_equal(result.items,
+                          recommender.recommend(histories[0], k=3).items)
+    assert batcher.stats.batches == 1
+    batcher.close()
+
+
+def test_mixed_k_batch_truncates_per_request(recommender, histories):
+    batcher = MicroBatcher(recommender, max_batch=4, cache_size=0,
+                           start=False)
+    small = batcher.submit(histories[0], k=2)
+    large = batcher.submit(histories[1], k=7)
+    batcher.flush_pending()
+    assert len(small.result(timeout=5).items) == 2
+    assert len(large.result(timeout=5).items) == 7
+    assert batcher.stats.batches == 1
+    batcher.close()
+
+
+def test_submit_after_close_raises(recommender, histories):
+    batcher = MicroBatcher(recommender, max_batch=4, start=False)
+    batcher.close()
+    with pytest.raises(RuntimeError):
+        batcher.submit(histories[0], k=3)
+
+
+def test_scoring_errors_propagate_to_futures(recommender):
+    batcher = MicroBatcher(recommender, max_batch=4, cache_size=0,
+                           start=False)
+    future = batcher.submit(np.array([1]), k=3)
+    # Invalid item id: recommend_batch raises inside the flush.
+    bad = batcher.submit(np.array([10_000]), k=3)
+    batcher.flush_pending()
+    with pytest.raises(ValueError):
+        bad.result(timeout=5)
+    with pytest.raises(ValueError):
+        future.result(timeout=5)       # same batch, same failure
+    batcher.close()
+
+
+def test_results_are_frozen_so_cache_cannot_be_corrupted(recommender,
+                                                         histories):
+    with MicroBatcher(recommender, max_batch=4, max_wait_ms=5.0,
+                      cache_size=8) as batcher:
+        first = batcher.recommend(histories[0], k=3)
+        with pytest.raises(ValueError):
+            first.items[0] = -1        # shared with the LRU: read-only
+        again = batcher.recommend(histories[0], k=3)
+        assert again.cached is True
+        assert np.array_equal(again.items, first.items)
+
+
+def test_lru_cache_eviction_order():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1         # refresh "a"; "b" is now oldest
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert len(cache) == 2
+
+
+def test_lru_cache_zero_capacity_is_disabled():
+    cache = LRUCache(capacity=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None and len(cache) == 0

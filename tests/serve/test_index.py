@@ -1,0 +1,75 @@
+"""CatalogIndex: versioned refresh, lazy build, dtype down-cast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MostPopular
+from repro.serve import CatalogIndex
+
+
+def test_index_builds_lazily_and_versions(model, dataset):
+    index = CatalogIndex(model, dataset)
+    assert index.version == 0 and index.nbytes == 0
+    matrix = index.matrix
+    assert index.version == 1
+    assert matrix.shape == (dataset.num_items + 1, model.dim)
+    assert index.nbytes == matrix.nbytes
+    # Repeated access reuses the same published buffer, no rebuild.
+    assert index.matrix is matrix and index.version == 1
+
+
+def test_index_matches_encode_catalog(model, dataset):
+    index = CatalogIndex(model, dataset)
+    np.testing.assert_array_equal(index.matrix,
+                                  model.encode_catalog(dataset))
+
+
+def test_index_refresh_bumps_version_and_republishes(model, dataset):
+    index = CatalogIndex(model, dataset)
+    first = index.matrix
+    assert index.refresh() == 2
+    assert index.version == 2
+    assert index.matrix is not first
+    np.testing.assert_array_equal(index.matrix, first)
+
+
+def test_index_mark_stale_triggers_rebuild(model, dataset):
+    index = CatalogIndex(model, dataset)
+    index.matrix
+    index.mark_stale()
+    assert index.matrix is not None
+    assert index.version == 2
+
+
+def test_index_rebuild_tracks_weight_updates(dataset, model):
+    index = CatalogIndex(model, dataset)
+    before = index.matrix.copy()
+    original = model.item_emb.weight.data.copy()
+    try:
+        model.item_emb.weight.data += 1.0
+        index.mark_stale()
+        after = index.matrix
+        assert not np.allclose(before, after)
+    finally:
+        model.item_emb.weight.data[:] = original
+        index.mark_stale()
+
+
+def test_index_float32_downcast(model, dataset):
+    index = CatalogIndex(model, dataset, dtype="float32")
+    assert index.matrix.dtype == np.float32
+    np.testing.assert_allclose(
+        index.matrix, model.encode_catalog(dataset), atol=1e-5)
+
+
+def test_index_matrix_is_read_only(model, dataset):
+    index = CatalogIndex(model, dataset)
+    with pytest.raises(ValueError):
+        index.matrix[0, 0] = 1.0
+
+
+def test_index_rejects_non_catalog_models(dataset):
+    with pytest.raises(TypeError):
+        CatalogIndex(MostPopular(dataset.num_items), dataset)

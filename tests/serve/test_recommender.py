@@ -1,0 +1,141 @@
+"""Recommender: top-k retrieval vs full sort, exclusion, fallback models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MostPopular
+from repro.serve import Recommender, batch_scorer
+
+from .conftest import reference_topk
+
+
+def _masked_scores(recommender, history, exclude_seen=True):
+    scores = recommender.score([np.asarray(history)])[0].astype(np.float64)
+    scores[0] = -np.inf
+    if exclude_seen:
+        scores[np.asarray(history)] = -np.inf
+    return scores
+
+
+def test_recommend_agrees_with_full_sort(recommender, dataset):
+    for example in dataset.split.test[:10]:
+        out = recommender.recommend(example.history, k=5)
+        expected = reference_topk(_masked_scores(recommender,
+                                                 example.history), 5)
+        assert np.array_equal(out.items, expected)
+        assert out.scores.shape == (5,)
+        assert np.all(np.diff(out.scores) <= 0)   # best-first ordering
+
+
+def test_recommend_excludes_seen_items_and_padding(recommender, dataset):
+    history = dataset.split.test[0].history
+    # Ask for more than can be served: the answer truncates to the
+    # non-excluded candidates instead of padding with invalid items.
+    out = recommender.recommend(history, k=dataset.num_items + 5)
+    assert np.all(np.isfinite(out.scores))
+    assert len(out.items) == dataset.num_items - len(set(history.tolist()))
+    assert 0 not in out.items
+    assert not set(np.asarray(history)) & set(out.items.tolist())
+
+
+def test_recommend_without_exclusion(model, dataset):
+    permissive = Recommender(model, dataset, exclude_seen=False)
+    history = dataset.split.test[0].history
+    out = permissive.recommend(history, k=dataset.num_items)
+    expected = reference_topk(
+        _masked_scores(permissive, history, exclude_seen=False),
+        dataset.num_items)
+    assert np.array_equal(out.items, expected)
+
+
+def test_recommend_batch_matches_single_requests(recommender, dataset):
+    histories = [ex.history for ex in dataset.split.test[:6]]
+    batched = recommender.recommend_batch(histories, k=4)
+    for history, out in zip(histories, batched):
+        single = recommender.recommend(history, k=4)
+        assert np.array_equal(out.items, single.items)
+        np.testing.assert_allclose(out.scores, single.scores, rtol=1e-6)
+
+
+def test_recommend_reports_index_version(recommender, dataset):
+    out = recommender.recommend(dataset.split.test[0].history, k=3)
+    assert out.index_version == recommender.index.version >= 1
+    recommender.refresh()
+    out2 = recommender.recommend(dataset.split.test[0].history, k=3)
+    assert out2.index_version == out.index_version + 1
+
+
+def test_recommend_validates_history(recommender, dataset):
+    with pytest.raises(ValueError):
+        recommender.recommend([], k=3)
+    with pytest.raises(ValueError):
+        recommender.recommend([dataset.num_items + 5], k=3)
+    with pytest.raises(ValueError):
+        recommender.recommend([0], k=3)
+
+
+def test_fallback_model_without_catalog_protocol(dataset):
+    pop = MostPopular(dataset.num_items).fit_counts(dataset.sequences)
+    recommender = Recommender(pop, dataset)
+    assert recommender.index is None
+    out = recommender.recommend(dataset.split.test[0].history, k=5)
+    assert out.index_version == 0
+    counts = pop._counts.copy()
+    counts[0] = -np.inf
+    counts[np.asarray(dataset.split.test[0].history)] = -np.inf
+    assert np.array_equal(out.items, reference_topk(counts, 5))
+
+
+def test_to_json_round_trip(recommender, dataset):
+    import json
+    out = recommender.recommend(dataset.split.test[0].history, k=3)
+    payload = json.loads(json.dumps(out.to_json()))
+    assert payload["items"] == [int(i) for i in out.items]
+    assert payload["index_version"] == out.index_version
+
+
+def test_bert4rec_keeps_mask_token_inference(dataset):
+    """Models opting out of the kernel must serve via their own scoring.
+
+    BERT4Rec appends a [MASK] token that is not a catalogue row; the
+    shared gather-encode-project kernel cannot reproduce that, so both
+    serving and eval must route through its score_histories (still
+    reusing the precomputed index matrix).
+    """
+    from repro.baselines import make_baseline
+    from repro.serve import supports_kernel
+    bert = make_baseline("bert4rec", dataset, seed=0)
+    assert not supports_kernel(bert)
+    recommender = Recommender(bert, dataset)
+    assert recommender.index is not None       # index still precomputed
+    history = dataset.split.test[0].history
+    out = recommender.recommend(history, k=5)
+    scores = bert.score_histories(dataset, [history])[0]
+    scores[0] = -np.inf
+    scores[np.asarray(history)] = -np.inf
+    assert np.array_equal(out.items, reference_topk(scores, 5))
+    assert out.index_version == 1
+
+
+def test_bert4rec_eval_unchanged_by_kernel_path(dataset):
+    """evaluate_model must agree with BERT4Rec's own inference scheme."""
+    from repro.baselines import make_baseline
+    from repro.eval import evaluate_model, evaluate_ranking
+    bert = make_baseline("bert4rec", dataset, seed=0)
+    catalog = bert.encode_catalog(dataset)
+    via_eval = evaluate_model(bert, dataset, dataset.split.test[:20],
+                              ks=(10,))
+    via_own = evaluate_ranking(
+        lambda hs: bert.score_histories(dataset, hs, catalog=catalog),
+        dataset.split.test[:20], ks=(10,))
+    assert via_eval == via_own
+
+
+def test_batch_scorer_uses_fallback_for_heuristic_models(dataset):
+    pop = MostPopular(dataset.num_items).fit_counts(dataset.sequences)
+    scorer = batch_scorer(pop, dataset)
+    histories = [ex.history for ex in dataset.split.test[:3]]
+    np.testing.assert_array_equal(scorer(histories),
+                                  pop.score_histories(dataset, histories))

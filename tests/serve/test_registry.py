@@ -1,0 +1,106 @@
+"""ModelRegistry: scenario parsing, checkpoint round-trip, routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.nn.serialization import save_checkpoint
+from repro.serve import ModelRegistry, ScenarioSpec, build_model
+from repro.train import TrainConfig, Trainer
+
+
+def test_scenario_spec_parsing():
+    spec = ScenarioSpec.parse("kwai_food:sasrec")
+    assert spec.dataset == "kwai_food" and spec.model == "sasrec"
+    assert spec.checkpoint is None
+    with_ckpt = ScenarioSpec.parse("bili_food:pmmrec:/tmp/ck.npz")
+    assert with_ckpt.checkpoint == "/tmp/ck.npz"
+    for bad in ("kwai_food", ":sasrec", "kwai_food:"):
+        with pytest.raises(ValueError):
+            ScenarioSpec.parse(bad)
+
+
+def test_build_model_dispatch(dataset):
+    assert type(build_model("sasrec", dataset)).__name__ == "SASRec"
+    pmmrec = build_model("pmmrec-text", dataset)
+    assert pmmrec.config.modality == "text"
+    # Ablation variants resolve through the same shared factory, so
+    # they are servable too.
+    assert build_model("pmmrec-wo-nid", dataset).config.use_nid is False
+    with pytest.raises(KeyError):
+        build_model("nope", dataset)
+    with pytest.raises(KeyError):
+        build_model("pmmrec-wo-everything", dataset)
+
+
+def test_registry_two_scenarios_one_process():
+    registry = ModelRegistry(profile="smoke", dtype="float32")
+    registry.add_all("kwai_food:sasrec,bili_food:grurec")
+    assert len(registry) == 2
+    assert ("kwai_food", "sasrec") in registry.keys()
+    a = registry.get("kwai_food", "sasrec")
+    b = registry.get("bili_food", "grurec")
+    assert a.dataset.name == "kwai_food" and b.dataset.name == "bili_food"
+    # Both answer requests independently.
+    out_a = a.recommender.recommend(a.dataset.split.test[0].history, k=3)
+    out_b = b.recommender.recommend(b.dataset.split.test[0].history, k=3)
+    assert len(out_a.items) == 3 and len(out_b.items) == 3
+    described = registry.describe()
+    assert {d["dataset"] for d in described} == {"kwai_food", "bili_food"}
+    assert all(d["index_version"] == 1 for d in described)  # warm start
+
+
+def test_registry_unknown_scenario_lists_loaded():
+    registry = ModelRegistry(profile="smoke")
+    registry.add("kwai_food:sasrec")
+    with pytest.raises(KeyError, match="kwai_food:sasrec"):
+        registry.get("kwai_food", "pmmrec")
+
+
+def test_registry_checkpoint_round_trip(tmp_path):
+    dataset = build_dataset("kwai_food", profile="smoke")
+    trained = build_model("sasrec", dataset, seed=3)
+    Trainer(trained, dataset,
+            TrainConfig(epochs=2, batch_size=16, seed=3)).fit()
+    path = str(tmp_path / "sasrec.npz")
+    save_checkpoint(trained, path)
+
+    registry = ModelRegistry(profile="smoke", dtype="float32")
+    scenario = registry.add(f"kwai_food:sasrec:{path}", seed=3)
+    history = dataset.split.test[0].history
+    served = scenario.recommender.recommend(history, k=5)
+
+    # The served answer must match scoring the trained model directly
+    # (modulo the float32 serving cast, which must not reorder top-5).
+    scores = trained.score_histories(dataset, [history])[0]
+    scores[0] = -np.inf
+    scores[np.asarray(history)] = -np.inf
+    expected = np.argsort(-scores, kind="stable")[:5]
+    assert np.array_equal(served.items, expected)
+    assert scenario.spec.checkpoint == path
+
+
+def test_registry_checkpoint_requires_loadable_model(tmp_path):
+    registry = ModelRegistry(profile="smoke")
+    with pytest.raises(TypeError):
+        registry.add(f"kwai_food:pop:{tmp_path / 'x.npz'}")
+
+
+def test_registry_add_honors_seed_for_spec_objects():
+    registry = ModelRegistry(profile="smoke", warm=False)
+    scenario = registry.add(ScenarioSpec(dataset="kwai_food",
+                                         model="sasrec"), seed=7)
+    assert scenario.spec.seed == 7
+    via_string = registry.add("bili_food:sasrec", seed=7)
+    assert via_string.spec.seed == 7
+
+
+def test_registry_cold_start_builds_index_lazily():
+    registry = ModelRegistry(profile="smoke", warm=False)
+    scenario = registry.add("kwai_food:sasrec")
+    assert scenario.recommender.index_version == 0
+    scenario.recommender.recommend(
+        scenario.dataset.split.test[0].history, k=3)
+    assert scenario.recommender.index_version == 1

@@ -1,0 +1,59 @@
+"""The argpartition-backed top-k helper vs. the full-sort reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.ops import topk
+
+from .conftest import reference_topk
+
+
+def test_topk_matches_full_sort_random():
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=(40, 123))
+    for k in (1, 5, 50, 122, 123):
+        values, indices = topk(scores, k)
+        expected = reference_topk(scores, k)
+        assert np.array_equal(indices, expected)
+        assert np.array_equal(values,
+                              np.take_along_axis(scores, expected, axis=-1))
+
+
+def test_topk_matches_full_sort_with_heavy_ties():
+    # Integer-valued scores force many exact ties, including ties that
+    # straddle the top-k cut — the case argpartition alone gets wrong.
+    rng = np.random.default_rng(1)
+    for trial in range(50):
+        scores = rng.integers(0, 5, size=(8, 37)).astype(np.float64)
+        k = int(rng.integers(1, 37))
+        _, indices = topk(scores, k)
+        assert np.array_equal(indices, reference_topk(scores, k)), \
+            f"trial {trial}, k={k}"
+
+
+def test_topk_all_equal_scores_prefers_lower_index():
+    scores = np.zeros((3, 10))
+    _, indices = topk(scores, 4)
+    assert np.array_equal(indices, np.tile(np.arange(4), (3, 1)))
+
+
+def test_topk_handles_neg_inf_exclusions():
+    scores = np.array([[5.0, -np.inf, 3.0, -np.inf, 4.0]])
+    values, indices = topk(scores, 3)
+    assert list(indices[0]) == [0, 4, 2]
+    assert list(values[0]) == [5.0, 4.0, 3.0]
+
+
+def test_topk_1d_input_and_k_clamping():
+    values, indices = topk(np.array([1.0, 9.0, 4.0]), 10)
+    assert indices.shape == (3,) and list(indices) == [1, 2, 0]
+    assert list(values) == [9.0, 4.0, 1.0]
+
+
+def test_topk_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        topk(np.zeros((2, 3)), 0)
+    with pytest.raises(ValueError):
+        topk(np.zeros((2, 3, 4)), 1)
