@@ -90,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", action="store_true",
                        help="start in-process, answer one request per "
                             "scenario over HTTP, then exit (CI)")
+    _add_retrieval_args(serve)
 
     bench = sub.add_parser("bench-serve",
                            help="benchmark serving latency/throughput")
@@ -104,7 +105,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dtype", default="float32",
                        choices=["float32", "float64"])
     bench.add_argument("--seed", type=int, default=0)
+    _add_retrieval_args(bench)
     return parser
+
+
+def _add_retrieval_args(sub) -> None:
+    """Retrieval-backend flags shared by ``serve`` and ``bench-serve``."""
+    sub.add_argument("--retrieval", default="exact",
+                     choices=["exact", "ivf", "lsh"],
+                     help="top-k backend: exact full-catalogue scoring, "
+                          "IVF (k-means cells) or random-hyperplane LSH")
+    sub.add_argument("--nlist", type=int, default=None,
+                     help="IVF cells (default 4*sqrt(num_items))")
+    sub.add_argument("--nprobe", type=int, default=None,
+                     help="IVF cells scanned per query (default nlist/32, "
+                          "floor 4)")
+    sub.add_argument("--lsh-bits", type=int, default=None,
+                     help="LSH code width in bits (default 128)")
+    sub.add_argument("--ann-min-items", type=int, default=None,
+                     help="catalogue-size floor below which retrieval "
+                          "falls back to exact scoring (default 1024)")
+
+
+def _ann_params(args) -> dict | None:
+    """Backend constructor kwargs from parsed CLI flags."""
+    if args.retrieval == "ivf":
+        return {"nlist": args.nlist, "nprobe": args.nprobe,
+                "seed": args.seed}
+    if args.retrieval == "lsh":
+        return {"bits": args.lsh_bits, "seed": args.seed}
+    return None
 
 
 def _cmd_datasets(args) -> int:
@@ -192,7 +222,10 @@ def _cmd_experiment(args) -> int:
 def _build_service(args):
     from .serve import ModelRegistry, RecommendationService
     registry = ModelRegistry(profile=args.profile, dtype=args.dtype,
-                             exclude_seen=not args.no_exclude_seen)
+                             exclude_seen=not args.no_exclude_seen,
+                             retrieval=args.retrieval,
+                             ann_params=_ann_params(args),
+                             min_ann_items=args.ann_min_items)
     for spec in args.scenarios.split(","):
         if not spec.strip():
             continue
@@ -200,7 +233,8 @@ def _build_service(args):
         info = scenario.describe()
         print(f"loaded {info['dataset']}:{info['model']} "
               f"({info['num_items']} items, index v{info['index_version']}, "
-              f"{info['index_nbytes'] / 1024:.0f} KiB)")
+              f"{info['index_nbytes'] / 1024:.0f} KiB, "
+              f"retrieval={info['retrieval']['retrieval']})")
     return RecommendationService(registry, max_batch=args.max_batch,
                                  max_wait_ms=args.max_wait_ms,
                                  cache_size=args.cache_size)
@@ -233,13 +267,20 @@ def _cmd_serve(args) -> int:
                 headers={"Content-Type": "application/json"})
             with urllib.request.urlopen(request, timeout=30) as response:
                 payload = _json.load(response)
+            # Capture routing counters before the out-of-band
+            # verification call below inflates them: the printed
+            # numbers describe the HTTP-served traffic only.
+            routing = scenario.recommender.describe_retrieval()
             expected = scenario.recommender.recommend(history, k=10)
             ok = np.array_equal(payload["items"], expected.items)
             failures += 0 if ok else 1
             print(f"smoke {scenario.spec.dataset}:{scenario.spec.model} "
                   f"-> top-{len(payload['items'])} "
                   f"{'OK' if ok else 'MISMATCH'} "
-                  f"({payload['latency_ms']:.1f} ms)")
+                  f"({payload['latency_ms']:.1f} ms; "
+                  f"retrieval={routing['retrieval']} "
+                  f"ann_batches={routing['ann_batches']} "
+                  f"fallbacks={routing['fallbacks']})")
     finally:
         server.shutdown()
         server.server_close()
@@ -252,7 +293,10 @@ def _cmd_bench_serve(args) -> int:
     from .serve import (ModelRegistry, compare_paths, render_comparison,
                         request_stream)
     from .serve.registry import ScenarioSpec
-    registry = ModelRegistry(profile=args.profile, dtype=args.dtype)
+    registry = ModelRegistry(profile=args.profile, dtype=args.dtype,
+                             retrieval=args.retrieval,
+                             ann_params=_ann_params(args),
+                             min_ann_items=args.ann_min_items)
     scenario = registry.add(ScenarioSpec(dataset=args.dataset,
                                          model=args.model,
                                          checkpoint=args.checkpoint or None),
@@ -265,7 +309,7 @@ def _cmd_bench_serve(args) -> int:
         comparison,
         title=f"serve benchmark — {args.dataset}:{args.model} "
               f"({scenario.dataset.num_items} items, {args.dtype}, "
-              f"k={args.k})"))
+              f"k={args.k}, retrieval={args.retrieval})"))
     return 0
 
 

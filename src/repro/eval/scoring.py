@@ -25,7 +25,8 @@ import numpy as np
 from ..data.batching import pad_sequences
 from ..nn.tensor import Tensor, no_grad
 
-__all__ = ["supports_kernel", "model_max_len", "score_batch", "batch_scorer"]
+__all__ = ["supports_kernel", "model_max_len", "encode_queries",
+           "score_batch", "batch_scorer"]
 
 ScoreFn = Callable[[list[np.ndarray]], np.ndarray]
 
@@ -54,16 +55,17 @@ def model_max_len(model) -> int:
     return int(getattr(model, "max_seq_len", 30))
 
 
-def score_batch(model, catalog: np.ndarray,
-                histories: list[np.ndarray],
-                max_seq_len: int | None = None) -> np.ndarray:
-    """Full-catalogue scores ``(N, num_items+1)`` for a batch of histories.
+def encode_queries(model, catalog: np.ndarray,
+                   histories: list[np.ndarray],
+                   max_seq_len: int | None = None) -> np.ndarray:
+    """User query vectors ``(N, d)``: the encoder's final hidden states.
 
-    ``catalog`` is an ``encode_catalog`` matrix (row 0 = padding; callers
-    must ignore column 0 of the result). The model is flipped to eval
-    mode only if it is currently training, so steady-state callers
-    (evaluation loops, the serving path) never pay the recursive
-    train/eval walk per batch.
+    This is the front half of :func:`score_batch` — pad, gather from the
+    catalogue matrix, run the user encoder under ``no_grad``, pick each
+    sequence's last real position. A query vector's dot product with a
+    catalogue row *is* that item's score, which is what lets approximate
+    retrieval (``repro.serve.ann``) shortlist candidates without the
+    full-catalogue matmul.
     """
     if max_seq_len is None:
         max_seq_len = model_max_len(model)
@@ -81,8 +83,22 @@ def score_batch(model, catalog: np.ndarray,
         if was_training:
             model.train(True)
     last = batch.mask.sum(axis=1) - 1
-    final = hidden[np.arange(hidden.shape[0]), last]
-    return final @ catalog.T
+    return hidden[np.arange(hidden.shape[0]), last]
+
+
+def score_batch(model, catalog: np.ndarray,
+                histories: list[np.ndarray],
+                max_seq_len: int | None = None) -> np.ndarray:
+    """Full-catalogue scores ``(N, num_items+1)`` for a batch of histories.
+
+    ``catalog`` is an ``encode_catalog`` matrix (row 0 = padding; callers
+    must ignore column 0 of the result). The model is flipped to eval
+    mode only if it is currently training, so steady-state callers
+    (evaluation loops, the serving path) never pay the recursive
+    train/eval walk per batch.
+    """
+    return encode_queries(model, catalog, histories,
+                          max_seq_len=max_seq_len) @ catalog.T
 
 
 def batch_scorer(model, dataset, catalog: np.ndarray | None = None) -> ScoreFn:

@@ -7,6 +7,7 @@ against finite differences.
 """
 
 from .attention import MultiHeadAttention, TransformerBlock, causal_mask, padding_mask
+from .cluster import hamming_distances, kmeans, kmeans_assign, sign_codes
 from .convolution import CausalConv1d, NextItNetResidualBlock
 from .modules import (Dropout, Embedding, FeedForward, Identity, LayerNorm,
                       Linear, Module, ModuleList, Sequential)
@@ -31,6 +32,7 @@ __all__ = [
     "GRU", "GRUCell", "CausalConv1d", "NextItNetResidualBlock",
     "softmax", "log_softmax", "cross_entropy", "embedding", "take_rows",
     "topk", "gelu", "masked_fill", "dropout", "info_nce", "cosine_similarity",
+    "kmeans", "kmeans_assign", "sign_codes", "hamming_distances",
     "SGD", "Adam", "AdamW", "clip_grad_norm",
     "ConstantSchedule", "WarmupCosineSchedule",
     "save_checkpoint", "load_checkpoint", "filter_state", "strip_prefix",

@@ -118,6 +118,10 @@ class RecommendationServer(ThreadingHTTPServer):
     """ThreadingHTTPServer bound to one :class:`RecommendationService`."""
 
     daemon_threads = True
+    # socketserver's default listen backlog of 5 resets connections the
+    # moment a burst of clients arrives together — exactly the traffic
+    # the micro-batcher exists to coalesce.
+    request_queue_size = 128
 
     def __init__(self, service: RecommendationService,
                  address: tuple[str, int], verbose: bool = False):

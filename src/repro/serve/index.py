@@ -6,6 +6,12 @@ held in memory, and every request is a gather + matmul against it. The
 index is *versioned* — ``refresh()`` republishes the matrix and bumps
 the version, and downstream caches (e.g. the micro-batcher's LRU) key
 on the version so stale entries miss naturally after a model update.
+
+An optional :class:`~repro.serve.ann.AnnIndex` can be attached; it is
+refit inside every ``refresh()`` (incrementally — IVF warm-starts from
+the previous centroids, LSH only re-encodes) and stamped with the
+version of the matrix it was built from, so consumers can tell a
+current ANN structure from a stale one.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import threading
 
 import numpy as np
+
+from .ann import AnnIndex, AnnSearch
 
 __all__ = ["CatalogIndex"]
 
@@ -27,7 +35,8 @@ class CatalogIndex:
     shares one buffer safely across threads.
     """
 
-    def __init__(self, model, dataset, dtype=None, chunk_size: int = 256):
+    def __init__(self, model, dataset, dtype=None, chunk_size: int = 256,
+                 ann: AnnIndex | None = None):
         if not hasattr(model, "encode_catalog"):
             raise TypeError(
                 f"{type(model).__name__} does not expose encode_catalog, "
@@ -37,9 +46,16 @@ class CatalogIndex:
         self.dtype = np.dtype(dtype) if dtype is not None else None
         self.chunk_size = chunk_size
         self._matrix: np.ndarray | None = None
+        self._ann = ann
         self._version = 0
         self._stale = True
+        self._stale_epoch = 0
+        # _lock guards the published state and is only ever held briefly;
+        # _refresh_lock serializes builders, which do the expensive
+        # encode + ANN fit *outside* _lock so concurrent readers never
+        # stall behind a rebuild.
         self._lock = threading.RLock()
+        self._refresh_lock = threading.Lock()
 
     # -- state ---------------------------------------------------------------
 
@@ -62,29 +78,82 @@ class CatalogIndex:
         """True when the next access will rebuild (version will change)."""
         return self._stale or self._matrix is None
 
+    @property
+    def ann(self) -> AnnIndex | None:
+        """The attached approximate-retrieval structure, if any."""
+        return self._ann
+
     def mark_stale(self) -> None:
         """Request a rebuild on next access (e.g. after a weight update).
 
         Caches keyed on the version must treat a stale index as
         uncacheable (see ``MicroBatcher.submit``): the current version
         number still names the *old* snapshot until the rebuild runs.
+        The epoch counter makes the request durable against an in-flight
+        rebuild: a build that started before this call cannot clear it.
         """
-        self._stale = True
+        with self._lock:
+            self._stale = True
+            self._stale_epoch += 1
+
+    def attach_ann(self, ann: AnnIndex | None) -> None:
+        """Attach (or detach, with ``None``) the ANN structure.
+
+        When a matrix is already published the structure is fitted to it
+        immediately, so attaching never leaves a window where retrieval
+        sees an unfitted index. Attaching serializes with builders on
+        ``_refresh_lock``: an attach landing mid-rebuild would otherwise
+        be stamped with the about-to-be-superseded version and fall back
+        to exact scoring forever after. The fit itself runs outside the
+        reader lock — readers keep serving (exactly) while it builds.
+        """
+        with self._refresh_lock:
+            with self._lock:
+                self._ann = ann
+                matrix, version = self._matrix, self._version
+            if ann is not None and matrix is not None:
+                ann.fit(matrix, version=version)
 
     # -- building ------------------------------------------------------------
 
     def refresh(self) -> int:
-        """Re-encode the catalogue and publish a new version; returns it."""
+        """Re-encode the catalogue and publish a new version; returns it.
+
+        The build — catalogue encode plus ANN refit, the multi-second
+        part at scale — runs outside the reader lock: concurrent
+        requests keep snapshotting the previous version until the new
+        one is adopted in a brief critical section. The ANN structure is
+        fitted and stamped with the version *before* publication, so no
+        reader can pair the new matrix with the old structure; a reader
+        that races the window between fit and publication sees the old
+        matrix with a not-yet-matching structure stamp and simply scores
+        exactly (see :meth:`snapshot_retrieval`).
+        """
+        with self._refresh_lock:
+            return self._rebuild()
+
+    def _rebuild(self) -> int:
+        """Build + publish one version; caller holds ``_refresh_lock``."""
         with self._lock:
-            matrix = self.model.encode_catalog(self.dataset,
-                                               chunk_size=self.chunk_size)
-            if self.dtype is not None and matrix.dtype != self.dtype:
-                matrix = matrix.astype(self.dtype)
-            matrix.flags.writeable = False
+            next_version = self._version + 1
+            ann = self._ann
+            epoch = self._stale_epoch
+        matrix = self.model.encode_catalog(self.dataset,
+                                           chunk_size=self.chunk_size)
+        if self.dtype is not None and matrix.dtype != self.dtype:
+            matrix = matrix.astype(self.dtype)
+        matrix.flags.writeable = False
+        if ann is not None:
+            ann.fit(matrix, version=next_version)
+        with self._lock:
             self._matrix = matrix
-            self._stale = False
-            self._version += 1
-            return self._version
+            # A mark_stale() that landed while we were encoding refers
+            # to weights this build may not have seen: keep the index
+            # stale so the next access rebuilds again rather than
+            # serving the superseded snapshot as fresh.
+            self._stale = self._stale_epoch != epoch
+            self._version = next_version
+            return next_version
 
     @property
     def matrix(self) -> np.ndarray:
@@ -99,9 +168,37 @@ class CatalogIndex:
         separately can interleave with a concurrent :meth:`refresh`.
         """
         with self._lock:
-            if self._stale or self._matrix is None:
-                self.refresh()
+            if not (self._stale or self._matrix is None):
+                return self._matrix, self._version
+        self._refresh_if_stale()
+        with self._lock:
             return self._matrix, self._version
+
+    def _refresh_if_stale(self) -> None:
+        """Rebuild once if still stale; concurrent callers coalesce."""
+        with self._refresh_lock:
+            with self._lock:
+                if not (self._stale or self._matrix is None):
+                    return             # another builder already published
+            self._rebuild()
+
+    def snapshot_retrieval(self) -> tuple[np.ndarray, int, AnnSearch | None]:
+        """Like :meth:`snapshot` plus a search view *for that version*.
+
+        The third slot is an :class:`AnnSearch` pinned to the fitted
+        state matching the returned matrix — a refresh landing after
+        this call refits the live index but cannot swap the state under
+        a request already scoring the old snapshot. It is ``None`` when
+        no structure is attached or the attached one was fitted against
+        a different version (e.g. a rebuild is mid-flight) — the caller
+        must then score exactly rather than trust stale cells.
+        """
+        matrix, version = self.snapshot()
+        ann = self._ann
+        search = None if ann is None else ann.search_snapshot()
+        if search is not None and search.version != version:
+            search = None
+        return matrix, version, search
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         shape = None if self._matrix is None else self._matrix.shape

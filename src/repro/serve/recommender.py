@@ -5,6 +5,16 @@ score the user's history against the catalogue index under ``no_grad``,
 mask out the padding item and (optionally) everything the user has
 already seen, and return the top-k via the argpartition-backed
 :func:`repro.nn.ops.topk` instead of a full-catalogue sort.
+
+With ``retrieval="ivf"`` or ``"lsh"`` the top-k is routed through an
+approximate index (:mod:`repro.serve.ann`): the user's query vector
+shortlists candidates, only the shortlist is scored exactly, and the
+answer is re-ranked genuine model scores. The recommender falls back to
+exact full-catalogue scoring whenever approximate recall would be
+unsafe — tiny catalogues, an ANN structure stale relative to the
+catalogue version, models outside the scoring-kernel protocol, or a
+``k`` so large the shortlist would approach the whole catalogue — and
+counts every routing decision in :attr:`retrieval_stats`.
 """
 
 from __future__ import annotations
@@ -14,10 +24,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nn.ops import topk
+from .ann import AnnIndex, make_ann_index
 from .index import CatalogIndex
-from .scoring import model_max_len, score_batch, supports_kernel
+from .scoring import (encode_queries, model_max_len, score_batch,
+                      supports_kernel)
 
-__all__ = ["Recommendation", "Recommender"]
+__all__ = ["Recommendation", "Recommender", "RetrievalStats",
+           "DEFAULT_MIN_ANN_ITEMS"]
+
+#: Below this catalogue size exact scoring is both safer and faster than
+#: any shortlist (one small matmul beats candidate bookkeeping).
+DEFAULT_MIN_ANN_ITEMS = 1024
 
 
 @dataclass
@@ -45,21 +62,56 @@ class Recommendation:
                 "cached": self.cached}
 
 
+@dataclass
+class RetrievalStats:
+    """How batches were routed: approximate, exact, or exact-by-fallback."""
+
+    ann_batches: int = 0
+    exact_batches: int = 0
+    fallbacks: dict = field(default_factory=dict)
+
+    def record(self, used_ann: bool, reason: str | None) -> None:
+        if used_ann:
+            self.ann_batches += 1
+        else:
+            self.exact_batches += 1
+            if reason is not None:
+                self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+
+    def to_json(self) -> dict:
+        return {"ann_batches": self.ann_batches,
+                "exact_batches": self.exact_batches,
+                "fallbacks": dict(self.fallbacks)}
+
+
 class Recommender:
-    """Session-style top-k retrieval for one (model, dataset) scenario.
+    """Session-style top-k retrieval for one (dataset, model) scenario.
 
     Kernel-capable models score through a :class:`CatalogIndex` (built
     lazily, shared, versioned); heuristic models without the catalogue
     protocol fall back to their own ``score_histories``. The model is
     put in eval mode once at construction so the request path never
     touches training state.
+
+    ``retrieval`` selects the top-k backend: ``"exact"`` (default) or an
+    ANN kind from :data:`repro.serve.ann.ANN_KINDS`; ``ann_params`` are
+    forwarded to the backend constructor (``nlist``, ``nprobe``,
+    ``bits``, ...). ``min_ann_items`` is the catalogue-size floor below
+    which the ANN path is never taken.
     """
 
     def __init__(self, model, dataset, index: CatalogIndex | None = None,
-                 exclude_seen: bool = True, index_dtype=None):
+                 exclude_seen: bool = True, index_dtype=None,
+                 retrieval: str = "exact", ann_params: dict | None = None,
+                 min_ann_items: int = DEFAULT_MIN_ANN_ITEMS):
         self.model = model
         self.dataset = dataset
         self.exclude_seen = exclude_seen
+        # Normalized so routing's kind comparison can never disagree
+        # with the case-insensitive make_ann_index factory.
+        self.retrieval = (retrieval or "exact").lower()
+        self.min_ann_items = min_ann_items
+        self.retrieval_stats = RetrievalStats()
         if hasattr(model, "eval"):
             model.eval()
         if index is None and hasattr(model, "encode_catalog"):
@@ -67,6 +119,24 @@ class Recommender:
         self.index = index
         self._use_kernel = supports_kernel(model)
         self._max_len = model_max_len(model)
+        # Only kernel-capable indexed models can form the query vectors
+        # ANN retrieval shortlists with; for anything else the structure
+        # would never be consulted, so don't pay its build cost. A
+        # structure already attached to a shared index is reused only
+        # when it matches the configured backend and the caller supplied
+        # no explicit knobs — otherwise this recommender's configuration
+        # wins and the index is re-attached (stats must never report one
+        # backend while routing through another).
+        if index is not None and self._use_kernel:
+            wanted = make_ann_index(retrieval, **(ann_params or {}))
+            if wanted is not None and (index.ann is None or ann_params
+                                       or index.ann.kind != wanted.kind):
+                index.attach_ann(wanted)
+
+    @property
+    def ann(self) -> AnnIndex | None:
+        """The attached approximate-retrieval structure, if any."""
+        return None if self.index is None else self.index.ann
 
     @property
     def index_version(self) -> int:
@@ -81,6 +151,15 @@ class Recommender:
     def refresh(self) -> int:
         """Rebuild the catalogue index (no-op for fallback models)."""
         return 0 if self.index is None else self.index.refresh()
+
+    def describe_retrieval(self) -> dict:
+        """Backend + routing counters for ``/scenarios`` and ``/stats``."""
+        out = {"retrieval": self.retrieval,
+               "min_ann_items": self.min_ann_items,
+               **self.retrieval_stats.to_json()}
+        if self.ann is not None:
+            out["ann"] = self.ann.describe()
+        return out
 
     # -- scoring -------------------------------------------------------------
 
@@ -118,6 +197,74 @@ class Recommender:
             scores[rows, cols] = -np.inf
         return scores
 
+    # -- retrieval routing ---------------------------------------------------
+
+    def _retrieval_plan(self, histories: list[np.ndarray],
+                        k: int) -> tuple[bool, str | None]:
+        """Decide ANN vs exact for one batch: ``(use_ann, fallback_reason)``.
+
+        The reason is ``None`` when exact scoring was *chosen* (backend
+        is ``"exact"``) rather than fallen back to.
+        """
+        if self.retrieval == "exact":
+            return False, None
+        if self.index is None or not self._use_kernel:
+            return False, "no_kernel"
+        ann = self.index.ann
+        if ann is None:                  # backend resolved to exact/none
+            return False, None
+        if ann.kind != self.retrieval:
+            # A sibling recommender re-attached its own backend to the
+            # shared index; routing through it would make this
+            # recommender's stats a lie, so score exactly and say why.
+            return False, "backend_mismatch"
+        num_items = self.index.num_items
+        if num_items < self.min_ann_items:
+            return False, "small_catalog"
+        needed = k + (max(len(h) for h in histories)
+                      if self.exclude_seen else 0)
+        if needed >= num_items // 2:
+            return False, "k_near_catalog"
+        return True, None
+
+    def _recommend_ann(self, histories: list[np.ndarray],
+                       k: int) -> tuple[list[Recommendation] | None,
+                                        str | None]:
+        """The approximate path; ``(None, reason)`` means fall back.
+
+        One query-encoder pass covers the batch; each row then scores
+        only its shortlist, so per-row work is ``O(|shortlist|·d)``
+        instead of ``O(n·d)``. Candidates arrive id-ascending from the
+        index, so the stable top-k tie-break (lower item id wins) is the
+        same one the exact path applies. The backend kind is re-checked
+        against the snapshot actually taken: a sibling recommender can
+        swap the shared index's structure between the plan check and
+        here, and routing through it would falsify this recommender's
+        stats.
+        """
+        matrix, version, ann = self.index.snapshot_retrieval()
+        if ann is None:
+            return None, "stale_index"
+        if ann.index.kind != self.retrieval:
+            return None, "backend_mismatch"
+        queries = encode_queries(self.model, matrix, histories,
+                                 max_seq_len=self._max_len)
+        out = []
+        for query, history in zip(queries, histories):
+            needed = k + (len(history) if self.exclude_seen else 0)
+            candidates = ann.candidates(query, needed)
+            scores = matrix[candidates] @ query
+            if self.exclude_seen:
+                keep = ~np.isin(candidates, history)
+                candidates, scores = candidates[keep], scores[keep]
+            values, order = topk(scores, min(k, len(scores)) or 1)
+            items = candidates[order]
+            items.setflags(write=False)
+            values.setflags(write=False)
+            out.append(Recommendation(items=items, scores=values,
+                                      index_version=version))
+        return out, None
+
     # -- request API ---------------------------------------------------------
 
     def recommend(self, history, k: int = 10) -> Recommendation:
@@ -133,6 +280,13 @@ class Recommender:
             if h.min() < 1 or h.max() > self.dataset.num_items:
                 raise ValueError(
                     f"history items must be in [1, {self.dataset.num_items}]")
+        use_ann, reason = self._retrieval_plan(histories, k)
+        if use_ann:
+            results, reason = self._recommend_ann(histories, k)
+            if results is not None:
+                self.retrieval_stats.record(True, None)
+                return results
+        self.retrieval_stats.record(False, reason)
         raw, version = self._score_snapshot(histories)
         scores = self._mask_scores(raw, histories,
                                    owned=(self.index is not None

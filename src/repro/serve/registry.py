@@ -78,18 +78,24 @@ class Scenario:
                 "num_users": self.dataset.num_users,
                 "indexed": index is not None,
                 "index_version": self.recommender.index_version,
-                "index_nbytes": 0 if index is None else index.nbytes}
+                "index_nbytes": 0 if index is None else index.nbytes,
+                "retrieval": self.recommender.describe_retrieval()}
 
 
 class ModelRegistry:
     """Load checkpoints for many scenarios behind one routing surface."""
 
     def __init__(self, profile: str | None = None, dtype: str | None = "float32",
-                 exclude_seen: bool = True, warm: bool = True):
+                 exclude_seen: bool = True, warm: bool = True,
+                 retrieval: str = "exact", ann_params: dict | None = None,
+                 min_ann_items: int | None = None):
         self.profile = profile
         self.dtype = dtype
         self.exclude_seen = exclude_seen
         self.warm = warm
+        self.retrieval = retrieval
+        self.ann_params = ann_params
+        self.min_ann_items = min_ann_items
         self._scenarios: dict[tuple[str, str], Scenario] = {}
 
     # -- loading -------------------------------------------------------------
@@ -117,9 +123,13 @@ class ModelRegistry:
             model.load_state_dict(load_checkpoint(spec.checkpoint))
         if self.dtype is not None and hasattr(model, "to_dtype"):
             model.to_dtype(self.dtype)
+        extra = ({} if self.min_ann_items is None
+                 else {"min_ann_items": self.min_ann_items})
         recommender = Recommender(model, dataset,
                                   exclude_seen=self.exclude_seen,
-                                  index_dtype=self.dtype)
+                                  index_dtype=self.dtype,
+                                  retrieval=self.retrieval,
+                                  ann_params=self.ann_params, **extra)
         scenario = Scenario(spec=spec, dataset=dataset, model=model,
                             recommender=recommender)
         if self.warm and recommender.index is not None:

@@ -7,8 +7,8 @@ This module re-exports it under the serve namespace for the serving
 code and its callers.
 """
 
-from ..eval.scoring import (ScoreFn, batch_scorer, model_max_len,
-                            score_batch, supports_kernel)
+from ..eval.scoring import (ScoreFn, batch_scorer, encode_queries,
+                            model_max_len, score_batch, supports_kernel)
 
-__all__ = ["ScoreFn", "supports_kernel", "model_max_len", "score_batch",
-           "batch_scorer"]
+__all__ = ["ScoreFn", "supports_kernel", "model_max_len", "encode_queries",
+           "score_batch", "batch_scorer"]

@@ -85,8 +85,12 @@ class RecommendationService:
         """Per-scenario batcher counters plus service-level settings."""
         with self._lock:
             snapshot = list(self._batchers.items())
-        per_scenario = {f"{d}:{m}": batcher.stats.to_json()
-                        for (d, m), batcher in snapshot}
+        per_scenario = {}
+        for (d, m), batcher in snapshot:
+            counters = batcher.stats.to_json()
+            counters["retrieval"] = \
+                batcher.recommender.describe_retrieval()
+            per_scenario[f"{d}:{m}"] = counters
         return {"scenarios": per_scenario,
                 "settings": {"max_batch": self.max_batch,
                              "max_wait_ms": self.max_wait_ms,
