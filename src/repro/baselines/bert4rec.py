@@ -13,7 +13,7 @@ import numpy as np
 from .. import nn
 from ..core.losses import batch_structure
 from ..data.catalog import SeqDataset
-from ..nn.ops import info_nce
+from ..nn.fused import info_nce
 from ..nn.tensor import Tensor
 from .base import SequentialRecommender
 
@@ -56,8 +56,7 @@ class BERT4Rec(SequentialRecommender):
         return self.item_emb(item_ids)
 
     def _encode(self, ids: np.ndarray, valid: np.ndarray) -> Tensor:
-        positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
-        x = self.item_emb(ids) + self.pos_emb(positions)
+        x = self.item_emb(ids) + self.pos_emb.prefix(ids.shape[1])
         x = self.drop(self.norm(x))
         mask = nn.padding_mask(valid)          # bidirectional: no causal mask
         for block in self.blocks:
@@ -67,9 +66,7 @@ class BERT4Rec(SequentialRecommender):
     def sequence_hidden(self, item_reps: Tensor, mask: np.ndarray) -> Tensor:
         # Used only by the shared scorer; reps arrive precomputed, so run
         # the blocks directly over them (equivalent to _encode sans lookup).
-        positions = np.broadcast_to(np.arange(item_reps.shape[1]),
-                                    item_reps.shape[:2])
-        x = item_reps + self.pos_emb(positions)
+        x = item_reps + self.pos_emb.prefix(item_reps.shape[1])
         x = self.drop(self.norm(x))
         attn = nn.padding_mask(mask)
         for block in self.blocks:

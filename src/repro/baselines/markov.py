@@ -14,7 +14,7 @@ import numpy as np
 from .. import nn
 from ..core.losses import batch_structure
 from ..data.catalog import SeqDataset
-from ..nn.ops import info_nce
+from ..nn.fused import info_nce
 from ..nn.tensor import Tensor
 
 __all__ = ["FPMC", "MostPopular"]

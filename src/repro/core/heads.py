@@ -79,6 +79,6 @@ class BehaviorHead(nn.Module):
 
     def loss(self, user_state: Tensor, item_reps: Tensor,
              behaviors: np.ndarray) -> Tensor:
-        """Cross-entropy against observed behaviour labels."""
+        """Cross-entropy against observed behaviour labels (fused node)."""
         logits = self(user_state, item_reps)
-        return nn.cross_entropy(logits, np.asarray(behaviors))
+        return nn.softmax_cross_entropy(logits, np.asarray(behaviors))

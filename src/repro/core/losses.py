@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn.ops import cross_entropy, info_nce
+from ..nn.fused import info_nce, softmax_cross_entropy
 from ..nn.tensor import Tensor, concat
 
 __all__ = ["batch_structure", "dap_loss", "alignment_loss", "nid_loss",
@@ -138,7 +138,8 @@ def nid_loss(corrupt_hidden: Tensor, classifier, labels: np.ndarray,
     """
     logits = classifier(corrupt_hidden).relu()
     masked_labels = np.where(np.asarray(mask, dtype=bool), labels, -1)
-    return cross_entropy(logits, masked_labels, ignore_index=-1)
+    # Fused softmax+NLL node (REPRO_FUSED=0 restores the unfused chain).
+    return softmax_cross_entropy(logits, masked_labels, ignore_index=-1)
 
 
 def masked_mean_pool(hidden: Tensor, mask: np.ndarray) -> Tensor:

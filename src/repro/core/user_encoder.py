@@ -49,8 +49,9 @@ class UserEncoder(nn.Module):
             # Mixed-precision guard: a float64 catalogue scored against a
             # float32 encoder (or vice versa) adopts the module's dtype.
             item_reps = item_reps.astype(self.param_dtype)
-        positions = np.broadcast_to(np.arange(length), (batch, length))
-        x = item_reps + self.pos_emb(positions)
+        # Broadcast-add the positional rows: cheaper than a batch-wide
+        # gather, and the lazy-unbroadcast backward reduces it in one sum.
+        x = item_reps + self.pos_emb.prefix(length)
         x = self.drop(self.norm(x))
         mask = nn.causal_mask(length)[None, None] | nn.padding_mask(valid)
         for block in self.blocks:

@@ -14,6 +14,13 @@ single allocation-free ``Tensor._wrap`` per batch.
 It lives in ``repro.eval`` (below ``core``/``baselines``/``serve`` in
 the dependency graph, needing only ``data.batching`` + ``nn.tensor``)
 and is re-exported by ``repro.serve.scoring``.
+
+The user-encoder forward this kernel runs inherits the fused one-node
+attention/LayerNorm kernels (``repro.nn.fused``) automatically, so
+``bench-serve`` and ANN re-ranking speed up with no change here; the
+fused forward is bit-for-bit identical to the unfused composition
+(``REPRO_FUSED=0``), so ranks — and the kernel-parity goldens in
+``tests/eval/test_scoring_parity.py`` — are unchanged either way.
 """
 
 from __future__ import annotations

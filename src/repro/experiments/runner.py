@@ -24,7 +24,11 @@ __all__ = ["cache_dir", "cell_key", "run_cells", "load_cached",
 
 #: Bump to invalidate all cached results after behaviour-changing edits.
 #: v5: experiment cells flipped to float32 (REPRO_DTYPE overrides).
-CACHE_VERSION = 5
+#: v6: fused autograd core — float32 GELU now uses the vectorized
+#:     single-precision erf (≤7e-7 abs difference), dropout RNG switched
+#:     to SFC64, and backward-pass rounding changed at the ulp level;
+#:     cached float32 training trajectories are no longer reproducible.
+CACHE_VERSION = 6
 
 #: Active experiment precision, frozen at import so the training dtype
 #: (cells.py budgets) and the cache key always agree. REPRO_DTYPE

@@ -8,6 +8,7 @@ the joint sequence; the CLS output is the fused item representation
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,24 @@ from ..nn import init as nn_init
 from ..nn.tensor import Tensor, concat
 
 __all__ = ["FusionConfig", "MergeAttentionFusion"]
+
+
+@functools.lru_cache(maxsize=32)
+def _token_types_cached(text_len: int, vision_len: int) -> np.ndarray:
+    """Constant cls/text/image type-id row, cached per stream lengths.
+
+    A single ``(L,)`` row: every batch element has the same layout, so
+    the type embedding is looked up once and broadcast-added (the lazy
+    unbroadcast reduces the gradient in one sum instead of a
+    batch-sized scatter-add).
+    """
+    types = np.concatenate([
+        np.zeros(1, dtype=np.int64),
+        np.ones(text_len, dtype=np.int64),
+        np.full(vision_len, 2, dtype=np.int64),
+    ])
+    types.setflags(write=False)
+    return types
 
 
 @dataclass(frozen=True)
@@ -61,11 +80,8 @@ class MergeAttentionFusion(nn.Module):
         batch = text_hidden.shape[0]
         cls = self.mm_cls + Tensor._wrap(
             np.zeros((batch, 1, self.config.dim), dtype=self.mm_cls.data.dtype))
-        token_types = np.concatenate([
-            np.zeros((batch, 1), dtype=np.int64),
-            np.ones((batch, text_hidden.shape[1]), dtype=np.int64),
-            np.full((batch, vision_hidden.shape[1]), 2, dtype=np.int64),
-        ], axis=1)
+        token_types = _token_types_cached(text_hidden.shape[1],
+                                          vision_hidden.shape[1])
         x = concat([cls, text_hidden, vision_hidden], axis=1)
         x = x + self.type_emb(token_types)
         valid = np.concatenate([

@@ -9,10 +9,15 @@ against finite differences.
 from .attention import MultiHeadAttention, TransformerBlock, causal_mask, padding_mask
 from .cluster import hamming_distances, kmeans, kmeans_assign, sign_codes
 from .convolution import CausalConv1d, NextItNetResidualBlock
+from .fused import (feed_forward, fusion_enabled, info_nce, layer_norm,
+                    linear, multi_head_attention,
+                    scaled_dot_product_attention, softmax_cross_entropy,
+                    transformer_block, use_fused)
 from .modules import (Dropout, Embedding, FeedForward, Identity, LayerNorm,
                       Linear, Module, ModuleList, Sequential)
-from .ops import (cosine_similarity, cross_entropy, dropout, embedding, gelu,
-                  info_nce, log_softmax, masked_fill, softmax, take_rows, topk)
+from .ops import (cosine_similarity, cross_entropy, dropout, dropout_mask,
+                  embedding, gelu, log_softmax, masked_fill,
+                  softmax, take_rows, topk)
 from .optim import (Adam, AdamW, ConstantSchedule, SGD, WarmupCosineSchedule,
                     clip_grad_norm)
 from .recurrent import GRU, GRUCell
@@ -32,6 +37,9 @@ __all__ = [
     "GRU", "GRUCell", "CausalConv1d", "NextItNetResidualBlock",
     "softmax", "log_softmax", "cross_entropy", "embedding", "take_rows",
     "topk", "gelu", "masked_fill", "dropout", "info_nce", "cosine_similarity",
+    "fusion_enabled", "use_fused", "scaled_dot_product_attention",
+    "multi_head_attention", "transformer_block", "softmax_cross_entropy",
+    "layer_norm", "linear", "feed_forward", "dropout_mask",
     "kmeans", "kmeans_assign", "sign_codes", "hamming_distances",
     "SGD", "Adam", "AdamW", "clip_grad_norm",
     "ConstantSchedule", "WarmupCosineSchedule",

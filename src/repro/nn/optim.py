@@ -25,7 +25,8 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     exploding gradients.
     """
     params = [p for p in parameters if p.grad is not None]
-    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    total = math.sqrt(sum(float(np.dot(p.grad.reshape(-1), p.grad.reshape(-1)))
+                          for p in params))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
@@ -83,7 +84,22 @@ class Adam(_Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two shared flat scratch buffers, sized to the largest
+        # parameter: the update loop is strictly sequential, so every
+        # parameter reuses reshaped views of the same memory and a step
+        # allocates nothing. Op order mirrors the textbook expressions
+        # bit for bit.
+        biggest = max(p.size for p in self.parameters)
+        widest = np.result_type(*(p.data.dtype for p in self.parameters))
+        self._scratch1 = np.empty(biggest, dtype=widest)
+        self._scratch2 = np.empty(biggest, dtype=widest)
         self._t = 0
+
+    def _scratch_views(self, p: Parameter) -> tuple[np.ndarray, np.ndarray]:
+        """Per-parameter views of the shared scratch buffers."""
+        s1 = self._scratch1[:p.size].view(p.data.dtype)[:p.size]
+        s2 = self._scratch2[:p.size].view(p.data.dtype)[:p.size]
+        return s1.reshape(p.data.shape), s2.reshape(p.data.shape)
 
     def step(self) -> None:
         self._t += 1
@@ -93,15 +109,24 @@ class Adam(_Optimizer):
         for p, m, v in zip(self.parameters, self._m, self._v):
             if p.grad is None:
                 continue
+            s1, s2 = self._scratch_views(p)
             grad = p.grad
             if self.weight_decay > 0.0:
                 grad = grad + self.weight_decay * p.data  # L2, coupled
             m *= b1
-            m += (1.0 - b1) * grad
+            np.multiply(grad, 1.0 - b1, out=s1)     # (1-b1) * grad
+            m += s1
             v *= b2
-            v += (1.0 - b2) * grad * grad
-            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
-            p.data -= self.lr * update
+            np.multiply(grad, 1.0 - b2, out=s1)     # (1-b2) * grad * grad
+            s1 *= grad
+            v += s1
+            np.divide(v, bias2, out=s2)             # sqrt(v/bias2) + eps
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(m, bias1, out=s1)             # (m/bias1) / denom
+            s1 /= s2
+            s1 *= self.lr
+            p.data -= s1
 
 
 class AdamW(Adam):
@@ -115,9 +140,12 @@ class AdamW(Adam):
 
     def step(self) -> None:
         if self.decoupled_decay > 0.0:
+            factor = self.lr * self.decoupled_decay
             for p in self.parameters:
                 if p.grad is not None:
-                    p.data -= self.lr * self.decoupled_decay * p.data
+                    s1, _ = self._scratch_views(p)
+                    np.multiply(p.data, factor, out=s1)
+                    p.data -= s1
         super().step()
 
 

@@ -12,7 +12,12 @@ The engine is deliberately small and explicit:
   tensors; ``backward()`` topologically sorts the graph and accumulates
   gradients.
 * Broadcasting follows numpy semantics; gradients are un-broadcast by
-  summing over the broadcast axes.
+  summing over the broadcast axes — *lazily*: backward closures return
+  gradients in whatever (possibly broadcast) shape the math produced,
+  and the reduction back to the parent's shape happens exactly once, when
+  that parent's accumulated gradient is consumed. Multiple broadcast
+  contributions to one tensor are therefore summed at full size and
+  reduced a single time instead of being materialised per node.
 * Tensors carry either ``float32`` or ``float64`` payloads. The ambient
   default for freshly-created tensors is controlled by
   :func:`default_dtype` / :func:`set_default_dtype`; existing float arrays
@@ -96,7 +101,12 @@ def set_default_dtype(dtype) -> None:
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes.
+
+    Backward closures no longer call this per node; gradients travel in
+    broadcast shape and :meth:`Tensor.backward` applies the reduction
+    lazily when a node's accumulated gradient is popped for use.
+    """
     if grad.shape == shape:
         return grad
     # Sum away leading axes added by broadcasting.
@@ -276,6 +286,12 @@ class Tensor:
                 continue
             node_owned = key in owned
             owned.discard(key)
+            if node_grad.shape != node.data.shape:
+                # Lazy unbroadcast: contributions accumulated in broadcast
+                # shape are reduced exactly once, here. The reduction
+                # allocates, so the result is ours to mutate.
+                node_grad = _unbroadcast(node_grad, node.data.shape)
+                node_owned = True
             if node._backward is None:
                 # Leaf: accumulate into .grad, keeping the leaf's dtype.
                 if node.grad is None:
@@ -291,7 +307,12 @@ class Tensor:
     def _backward_dispatch(self, node_grad: np.ndarray,
                            grads: dict[int, np.ndarray],
                            owned: set[int]) -> None:
-        """Run the backward closure, routing parent grads into ``grads``."""
+        """Run the backward closure, routing parent grads into ``grads``.
+
+        Parent gradients may arrive in broadcast shape (larger than the
+        parent); they are accumulated as-is and reduced lazily when the
+        parent's slot is popped in :meth:`backward`.
+        """
         parent_grads = self._backward(node_grad)
         for parent, pgrad in zip(self._parents, parent_grads):
             if pgrad is None or not parent.requires_grad:
@@ -300,9 +321,16 @@ class Tensor:
             current = grads.get(key)
             if current is None:
                 grads[key] = pgrad
-            elif key in owned:
+            elif key in owned and current.shape == pgrad.shape:
                 current += pgrad
             else:
+                if current.shape != pgrad.shape:
+                    # Contributions arrived at different broadcast
+                    # shapes; adding them as-is would re-broadcast the
+                    # smaller one and over-count it under the final
+                    # reduction. Reduce both to the parent's shape now.
+                    current = _unbroadcast(current, parent.data.shape)
+                    pgrad = _unbroadcast(pgrad, parent.data.shape)
                 # First contribution may alias op state (or the upstream
                 # grad itself); allocate a fresh accumulation buffer once.
                 grads[key] = current + pgrad
@@ -317,11 +345,9 @@ class Tensor:
         if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
             return Tensor._wrap(out_data)
         a, b = self, other
-
-        def backward(g):
-            return (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
-
-        return Tensor._node(out_data, (a, b), backward)
+        # Lazy unbroadcast: hand the upstream gradient straight to both
+        # parents; any reduction happens when their slots are consumed.
+        return Tensor._node(out_data, (a, b), lambda g: (g, g))
 
     __radd__ = __add__
 
@@ -337,11 +363,7 @@ class Tensor:
         if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
             return Tensor._wrap(out_data)
         a, b = self, other
-
-        def backward(g):
-            return (_unbroadcast(g, a.shape), _unbroadcast(-g, b.shape))
-
-        return Tensor._node(out_data, (a, b), backward)
+        return Tensor._node(out_data, (a, b), lambda g: (g, -g))
 
     def __rsub__(self, other) -> "Tensor":
         return Tensor(other, dtype=self.data.dtype) - self
@@ -353,12 +375,8 @@ class Tensor:
         if not (_GRAD[-1] and (self.requires_grad or other.requires_grad)):
             return Tensor._wrap(out_data)
         a, b = self, other
-
-        def backward(g):
-            return (_unbroadcast(g * b.data, a.shape),
-                    _unbroadcast(g * a.data, b.shape))
-
-        return Tensor._node(out_data, (a, b), backward)
+        return Tensor._node(out_data, (a, b),
+                            lambda g: (g * b.data, g * a.data))
 
     __rmul__ = __mul__
 
@@ -371,9 +389,7 @@ class Tensor:
         a, b = self, other
 
         def backward(g):
-            ga = _unbroadcast(g / b.data, a.shape)
-            gb = _unbroadcast(-g * a.data / (b.data ** 2), b.shape)
-            return (ga, gb)
+            return (g / b.data, -g * a.data / (b.data ** 2))
 
         return Tensor._node(out_data, (a, b), backward)
 
@@ -412,10 +428,10 @@ class Tensor:
                 ga = g @ np.swapaxes(b.data, -1, -2)
                 gb = np.outer(a.data, g)
             else:
+                # Batched case: grads may carry broadcast batch axes; the
+                # lazy unbroadcast at accumulation time reduces them.
                 ga = g @ np.swapaxes(b.data, -1, -2)
                 gb = np.swapaxes(a.data, -1, -2) @ g
-                ga = _unbroadcast(ga, a.shape)
-                gb = _unbroadcast(gb, b.shape)
             return (ga, gb)
 
         return Tensor._node(out_data, (a, b), backward)
@@ -485,14 +501,16 @@ class Tensor:
         a = self
 
         def backward(g):
+            # Returning read-only broadcast views is safe: the engine only
+            # mutates accumulation buffers it allocated itself.
             g = np.asarray(g)
             if axis is None:
-                return (np.broadcast_to(g, a.shape).copy(),)
+                return (np.broadcast_to(g, a.shape),)
             axes = axis if isinstance(axis, tuple) else (axis,)
             if not keepdims:
                 for ax in sorted(ax % a.ndim for ax in axes):
                     g = np.expand_dims(g, ax)
-            return (np.broadcast_to(g, a.shape).copy(),)
+            return (np.broadcast_to(g, a.shape),)
 
         return Tensor._node(np.asarray(out_data), (a,), backward)
 
@@ -662,8 +680,6 @@ def where(condition: np.ndarray, a, b) -> Tensor:
         return Tensor._wrap(out_data)
 
     def backward(g):
-        ga = _unbroadcast(g * cond, a.shape)
-        gb = _unbroadcast(g * (~cond), b.shape)
-        return (ga, gb)
+        return (g * cond, g * (~cond))
 
     return Tensor._node(out_data, (a, b), backward)

@@ -61,8 +61,7 @@ class MiniRoBERTa(nn.Module):
         if tokens.shape[1] > self.config.max_len:
             tokens = tokens[:, :self.config.max_len]
         valid = Tokenizer.attention_mask(tokens)
-        positions = np.broadcast_to(np.arange(tokens.shape[1]), tokens.shape)
-        x = self.token_emb(tokens) + self.pos_emb(positions)
+        x = self.token_emb(tokens) + self.pos_emb.prefix(tokens.shape[1])
         x = self.drop(self.norm(x))
         attn_mask = nn.padding_mask(valid)
         for block in self.blocks:

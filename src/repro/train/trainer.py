@@ -14,6 +14,7 @@ metrics are recorded so Figure 3's convergence curves fall out for free.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +42,7 @@ class TrainConfig:
     metric: str = "hr@10"       # early-stopping criterion
     warmup_frac: float = 0.0    # >0 enables a warmup+cosine LR schedule
     dtype: str | None = None    # "float32"/"float64": cast the model up front
+    fused: bool | None = None   # force fused kernels on/off; None = REPRO_FUSED
     seed: int = 0
     verbose: bool = False
 
@@ -84,29 +86,44 @@ class Trainer:
                 warmup_steps=int(self.config.warmup_frac * total),
                 total_steps=total)
 
+    def _fusion_scope(self):
+        """Fused-kernel override for this run (no-op when ``fused`` unset).
+
+        ``TrainConfig(fused=...)`` pins the training loop to the fused or
+        unfused autograd path regardless of the ambient ``REPRO_FUSED``
+        setting — the escape hatch for A/B-ing a training run against the
+        multi-node composition.
+        """
+        if self.config.fused is None:
+            return contextlib.nullcontext()
+        return nn.use_fused(self.config.fused)
+
     def _run_epoch(self) -> float:
         cfg = self.config
         total, batches = 0.0, 0
         self.model.train()
-        for batch in batch_iterator(self.dataset.split.train, cfg.batch_size,
-                                    self._rng, max_len=cfg.max_seq_len):
-            self.optimizer.zero_grad()
-            loss, _ = self.model.training_loss(
-                self.dataset, batch.item_ids, batch.mask,
-                pretraining=self.pretraining)
-            loss.backward()
-            nn.clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
-            self.optimizer.step()
-            if self.schedule is not None:
-                self.schedule.step()
-            total += float(loss.data)
-            batches += 1
+        with self._fusion_scope():
+            for batch in batch_iterator(self.dataset.split.train,
+                                        cfg.batch_size, self._rng,
+                                        max_len=cfg.max_seq_len):
+                self.optimizer.zero_grad()
+                loss, _ = self.model.training_loss(
+                    self.dataset, batch.item_ids, batch.mask,
+                    pretraining=self.pretraining)
+                loss.backward()
+                nn.clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
+                self.optimizer.step()
+                if self.schedule is not None:
+                    self.schedule.step()
+                total += float(loss.data)
+                batches += 1
         return total / max(batches, 1)
 
     def validate(self) -> dict[str, float]:
         """Metrics on the validation split (ks limited to 10 for speed)."""
-        return evaluate_model(self.model, self.dataset,
-                              self.dataset.split.valid, ks=(10,))
+        with self._fusion_scope():
+            return evaluate_model(self.model, self.dataset,
+                                  self.dataset.split.valid, ks=(10,))
 
     def fit(self) -> TrainResult:
         """Train until ``epochs`` or early stopping; restore the best state."""

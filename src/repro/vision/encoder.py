@@ -69,9 +69,7 @@ class MiniViT(nn.Module):
         cls = self.cls_token + Tensor._wrap(
             np.zeros((batch, 1, self.config.dim), dtype=dtype))
         x = concat([cls, x], axis=1)
-        positions = np.broadcast_to(np.arange(x.shape[1]),
-                                    (batch, x.shape[1]))
-        x = x + self.pos_emb(positions)
+        x = x + self.pos_emb.prefix(x.shape[1])
         x = self.drop(self.norm(x))
         for block in self.blocks:
             x = block(x)

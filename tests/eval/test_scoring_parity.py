@@ -99,6 +99,34 @@ def test_encode_queries_is_the_front_half_of_score_batch(name, dataset,
                                rtol=1e-12)
 
 
+@pytest.mark.parametrize("name", KERNEL_BASELINES + ["pmmrec"])
+def test_kernel_parity_fused_vs_unfused_ranks(name, dataset, histories):
+    """The fused autograd kernels must not move a single rank.
+
+    The fused one-node attention/LayerNorm forward mirrors the unfused
+    composition's floating-point op order exactly, so the scoring kernel
+    must produce bit-identical scores — and therefore identical ranks —
+    with fusion on and off (the ``REPRO_FUSED`` escape hatch).
+    """
+    from repro.nn import use_fused
+
+    model = _build(name, dataset)
+    model.eval()
+    if not supports_kernel(model):
+        pytest.skip(f"{name} opts out of the scoring kernel")
+    usable = [h[-model_max_len(model):] for h in histories]
+    with use_fused(True):
+        catalog_f = model.encode_catalog(dataset)
+        fused_scores = score_batch(model, catalog_f, usable)
+    with use_fused(False):
+        catalog_u = model.encode_catalog(dataset)
+        unfused_scores = score_batch(model, catalog_u, usable)
+    np.testing.assert_array_equal(catalog_f, catalog_u)
+    np.testing.assert_array_equal(fused_scores, unfused_scores)
+    assert np.array_equal(np.argsort(-fused_scores, axis=1, kind="stable"),
+                          np.argsort(-unfused_scores, axis=1, kind="stable"))
+
+
 def test_bert4rec_is_excluded_from_the_kernel(dataset):
     model = make_baseline("bert4rec", dataset, seed=0)
     assert not supports_kernel(model)
