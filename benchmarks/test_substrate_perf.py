@@ -207,6 +207,55 @@ def test_float32_fast_path_speedup_attention():
     assert ratio >= 1.3
 
 
+@pytest.mark.parametrize("impl", ["add_at", "reduceat"])
+def test_perf_embedding_scatter_backward(benchmark, impl):
+    """Embedding-gradient scatter: legacy np.add.at vs sort+reduceat.
+
+    The index pattern mirrors a training batch (B*L lookups into a
+    catalogue-sized table with heavy repeats) — the shape where the
+    engine's embedding backward spends its time.
+    """
+    from repro.nn.tensor import scatter_add_rows
+    rng = np.random.default_rng(0)
+    table = np.zeros((5000, 48), dtype=np.float32)
+    indices = rng.integers(0, 400, size=24 * 30 * 4)
+    grads = rng.normal(size=(indices.size, 48)).astype(np.float32)
+
+    if impl == "add_at":
+        def step():
+            out = np.zeros_like(table)
+            np.add.at(out, indices, grads)
+            return out
+    else:
+        def step():
+            return scatter_add_rows(np.zeros_like(table), indices, grads)
+
+    benchmark(step)
+
+
+@_skip_perf_assert
+def test_embedding_scatter_speedup():
+    """Acceptance: sort+reduceat beats np.add.at ≥1.3× on batch shapes."""
+    from repro.nn.tensor import scatter_add_rows
+    rng = np.random.default_rng(0)
+    indices = rng.integers(0, 400, size=24 * 30 * 4)
+    grads = rng.normal(size=(indices.size, 48)).astype(np.float32)
+    out = np.zeros((5000, 48), dtype=np.float32)
+
+    def add_at():
+        buf = np.zeros_like(out)
+        np.add.at(buf, indices, grads)
+
+    def reduceat():
+        scatter_add_rows(np.zeros_like(out), indices, grads)
+
+    add_at()
+    reduceat()
+    ratio = _best_of(add_at) / _best_of(reduceat)
+    print(f"\nembedding scatter sort+reduceat speedup: {ratio:.2f}x")
+    assert ratio >= 1.3
+
+
 def test_no_grad_builds_no_graph_state():
     """The fast path must not allocate parents/closures at all."""
     x = Tensor(np.ones((4, 4)), requires_grad=True)

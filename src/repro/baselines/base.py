@@ -116,19 +116,30 @@ class SequentialRecommender(nn.Module):
         loss = dap_loss(hidden, reps, inverse, mask, owner)
         return loss, {"dap": float(loss.data), "total": float(loss.data)}
 
+    def encode_item_rows(self, dataset: SeqDataset,
+                         item_ids: np.ndarray) -> np.ndarray:
+        """Inference-mode representations ``(len(item_ids), d)`` by id.
+
+        Row-wise sibling of :meth:`encode_catalog`, used by the streaming
+        subsystem to re-encode only new/changed items.
+        """
+        with nn.inference_mode(self):
+            return self.item_representations(dataset,
+                                             np.asarray(item_ids)).data
+
     def encode_catalog(self, dataset: SeqDataset,
                        chunk_size: int = 256) -> np.ndarray:
-        """Representation matrix for all items, row 0 = padding."""
-        was_training = self.training
-        self.eval()
+        """Representation matrix for all items, row 0 = padding.
+
+        The mode toggle happens once per call, not per chunk.
+        """
         out = np.zeros((dataset.num_items + 1, self.dim),
                        dtype=self.param_dtype)
-        with nn.no_grad():
+        with nn.inference_mode(self):
             for start in range(1, dataset.num_items + 1, chunk_size):
                 ids = np.arange(start, min(start + chunk_size,
                                            dataset.num_items + 1))
                 out[ids] = self.item_representations(dataset, ids).data
-        self.train(was_training)
         return out
 
     def score_histories(self, dataset: SeqDataset,

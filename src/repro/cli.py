@@ -1,6 +1,6 @@
 """Command-line interface for the PMMRec reproduction.
 
-Six subcommands mirror the library's main workflows::
+Eight subcommands mirror the library's main workflows::
 
     repro datasets [--profile paper]            # Table II style statistics
     repro train --dataset kwai_food             # train one model
@@ -8,6 +8,8 @@ Six subcommands mirror the library's main workflows::
     repro experiment table4 [--profile paper]   # regenerate a paper table
     repro serve --scenarios kwai_food:sasrec,bili_food:pmmrec-text
     repro bench-serve --dataset kwai_food --model sasrec
+    repro stream --scenarios kwai_food:pmmrec-text   # serve + learn online
+    repro bench-stream --dataset hm --model pmmrec-text
 
 Every subcommand is importable (``main(argv)``) for tests.
 """
@@ -91,6 +93,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start in-process, answer one request per "
                             "scenario over HTTP, then exit (CI)")
     _add_retrieval_args(serve)
+
+    stream = sub.add_parser("stream",
+                            help="serve with online continual learning "
+                                 "(event ingestion + background "
+                                 "fine-tuning + hot swaps)")
+    stream.add_argument("--scenarios", required=True,
+                        help="comma-separated dataset:model[:checkpoint] "
+                             "specs (models must support incremental "
+                             "training to stream)")
+    stream.add_argument("--profile", default=None)
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument("--port", type=int, default=8765)
+    stream.add_argument("--dtype", default="float32",
+                        choices=["float32", "float64"])
+    stream.add_argument("--max-batch", type=int, default=32)
+    stream.add_argument("--max-wait-ms", type=float, default=2.0)
+    stream.add_argument("--cache-size", type=int, default=1024)
+    stream.add_argument("--no-exclude-seen", action="store_true")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--stream-batch-size", type=int, default=16,
+                        help="replayed histories per fine-tune step")
+    stream.add_argument("--stream-lr", type=float, default=5e-4,
+                        help="incremental-step learning rate")
+    stream.add_argument("--steps-per-swap", type=int, default=8,
+                        help="fine-tune steps between hot swaps")
+    stream.add_argument("--min-events", type=int, default=8,
+                        help="events that wake the fine-tune worker")
+    stream.add_argument("--buffer-size", type=int, default=2048,
+                        help="replay-buffer capacity (histories)")
+    stream.add_argument("--checkpoint-dir", default=None,
+                        help="write a versioned checkpoint per full swap")
+    stream.add_argument("--event-log", default=None,
+                        help="append accepted events to this JSONL file")
+    stream.add_argument("--smoke", action="store_true",
+                        help="in-process: ingest events over HTTP, "
+                             "fine-tune, hot-swap, verify, exit (CI)")
+    _add_retrieval_args(stream)
+
+    bench_stream = sub.add_parser(
+        "bench-stream",
+        help="benchmark the continual-learning loop under serving load")
+    bench_stream.add_argument("--dataset", default="hm")
+    bench_stream.add_argument("--model", default="pmmrec-text")
+    bench_stream.add_argument("--profile", default=None)
+    bench_stream.add_argument("--duration", type=float, default=8.0,
+                              help="seconds of continuous client load")
+    bench_stream.add_argument("--clients", type=int, default=4,
+                              help="concurrent request threads")
+    bench_stream.add_argument("--k", type=int, default=10)
+    bench_stream.add_argument("--event-batch", type=int, default=16)
+    bench_stream.add_argument("--event-waves", type=int, default=6)
+    bench_stream.add_argument("--cold-items", type=int, default=6)
+    bench_stream.add_argument("--steps-per-swap", type=int, default=4)
+    bench_stream.add_argument("--stream-batch-size", type=int, default=8)
+    bench_stream.add_argument("--stream-lr", type=float, default=5e-4)
+    bench_stream.add_argument("--seed", type=int, default=0)
+    _add_retrieval_args(bench_stream)
 
     bench = sub.add_parser("bench-serve",
                            help="benchmark serving latency/throughput")
@@ -289,6 +348,67 @@ def _cmd_serve(args) -> int:
     return 1 if failures else 0
 
 
+def _stream_config(args):
+    from .stream import StreamConfig
+    return StreamConfig(batch_size=args.stream_batch_size,
+                        lr=args.stream_lr,
+                        steps_per_swap=args.steps_per_swap,
+                        min_events_per_round=args.min_events,
+                        buffer_capacity=args.buffer_size,
+                        checkpoint_dir=args.checkpoint_dir,
+                        log_path=args.event_log, seed=args.seed)
+
+
+def _cmd_stream(args) -> int:
+    from .serve import make_server, serve_forever
+    from .stream import StreamManager, run_stream_smoke
+    service = _build_service(args)
+    # Smoke mode drives the fine-tune worker synchronously so the
+    # ingest → steps → swap → verify sequence is deterministic; the
+    # live service runs the background worker threads.
+    manager = StreamManager(service, _stream_config(args),
+                            start=not args.smoke)
+    service.attach_stream(manager)
+    for (dataset, model), worker in manager.workers():
+        print(f"streaming {dataset}:{model} "
+              f"(cold items {'supported' if worker.supports_cold_items else 'unsupported (ID-based model)'}, "
+              f"{args.steps_per_swap} steps/swap)")
+    for key, reason in manager.stats().get("unstreamable", {}).items():
+        print(f"serving only (no stream) {key}: {reason}")
+    if not args.smoke:
+        serve_forever(service, host=args.host, port=args.port)
+        return 0
+    server = make_server(service, host=args.host, port=0)
+    server.start_background()
+    try:
+        return run_stream_smoke(service, manager, server.url,
+                                seed=args.seed)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def _cmd_bench_stream(args) -> int:
+    from .stream import bench_stream, render_stream_report
+    report = bench_stream(
+        args.dataset, args.model, profile=args.profile,
+        duration_s=args.duration, client_threads=args.clients, k=args.k,
+        event_batch=args.event_batch, event_waves=args.event_waves,
+        cold_items=args.cold_items, retrieval=args.retrieval,
+        ann_params=_ann_params(args),
+        min_ann_items=(1 if args.ann_min_items is None
+                       else args.ann_min_items),
+        steps_per_swap=args.steps_per_swap,
+        batch_size=args.stream_batch_size, lr=args.stream_lr,
+        seed=args.seed)
+    print(render_stream_report(
+        report, title=f"stream benchmark — {args.dataset}:{args.model} "
+                      f"(profile={args.profile}, "
+                      f"retrieval={args.retrieval})"))
+    return 0 if report["requests_dropped"] == 0 else 1
+
+
 def _cmd_bench_serve(args) -> int:
     from .serve import (ModelRegistry, compare_paths, render_comparison,
                         request_stream)
@@ -318,7 +438,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
                 "transfer": _cmd_transfer, "experiment": _cmd_experiment,
-                "serve": _cmd_serve, "bench-serve": _cmd_bench_serve}
+                "serve": _cmd_serve, "bench-serve": _cmd_bench_serve,
+                "stream": _cmd_stream, "bench-stream": _cmd_bench_stream}
     return handlers[args.command](args)
 
 

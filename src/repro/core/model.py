@@ -122,22 +122,32 @@ class PMMRec(nn.Module):
             return ItemEncodings(sequence=text_cls, text_cls=text_cls)
         return ItemEncodings(sequence=vision_cls, vision_cls=vision_cls)
 
+    def encode_item_rows(self, dataset: SeqDataset,
+                         item_ids: np.ndarray) -> np.ndarray:
+        """Inference-mode representations ``(len(item_ids), d)`` by id.
+
+        The row-wise sibling of :meth:`encode_catalog`: the streaming
+        subsystem uses it to re-encode only new/changed items into a
+        catalogue index instead of paying a full rebuild.
+        """
+        with nn.inference_mode(self):
+            return self.encode_items(dataset,
+                                     np.asarray(item_ids)).sequence.data
+
     def encode_catalog(self, dataset: SeqDataset,
                        chunk_size: int = 256) -> np.ndarray:
         """All-item representation matrix ``(num_items+1, d)`` (row 0 = pad).
 
-        Computed in inference mode, in chunks, for full-catalogue ranking.
+        Computed in inference mode, in chunks, for full-catalogue
+        ranking; the mode toggle happens once per call, not per chunk.
         """
-        was_training = self.training
-        self.eval()
         out = np.zeros((dataset.num_items + 1, self.config.dim),
                        dtype=self.param_dtype)
-        with nn.no_grad():
+        with nn.inference_mode(self):
             for start in range(1, dataset.num_items + 1, chunk_size):
                 ids = np.arange(start, min(start + chunk_size,
                                            dataset.num_items + 1))
                 out[ids] = self.encode_items(dataset, ids).sequence.data
-        self.train(was_training)
         return out
 
     # -- sequence encoding ----------------------------------------------------------

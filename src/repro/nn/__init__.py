@@ -14,24 +14,24 @@ from .fused import (feed_forward, fusion_enabled, info_nce, layer_norm,
                     scaled_dot_product_attention, softmax_cross_entropy,
                     transformer_block, use_fused)
 from .modules import (Dropout, Embedding, FeedForward, Identity, LayerNorm,
-                      Linear, Module, ModuleList, Sequential)
+                      Linear, Module, ModuleList, Sequential, inference_mode)
 from .ops import (cosine_similarity, cross_entropy, dropout, dropout_mask,
                   embedding, gelu, log_softmax, masked_fill,
                   softmax, take_rows, topk)
 from .optim import (Adam, AdamW, ConstantSchedule, SGD, WarmupCosineSchedule,
                     clip_grad_norm)
 from .recurrent import GRU, GRUCell
-from .serialization import (filter_state, load_checkpoint, save_checkpoint,
-                            strip_prefix)
+from .serialization import (CHECKPOINT_FORMAT, checkpoint_meta, filter_state,
+                            load_checkpoint, save_checkpoint, strip_prefix)
 from .tensor import (Parameter, Tensor, as_tensor, concat, default_dtype,
                      get_default_dtype, is_grad_enabled, no_grad,
-                     set_default_dtype, stack, where)
+                     scatter_add_rows, set_default_dtype, stack, where)
 
 __all__ = [
     "Tensor", "Parameter", "as_tensor", "concat", "stack", "where",
     "no_grad", "is_grad_enabled",
     "default_dtype", "get_default_dtype", "set_default_dtype",
-    "Module", "ModuleList", "Sequential", "Identity",
+    "Module", "ModuleList", "Sequential", "Identity", "inference_mode",
     "Linear", "Embedding", "LayerNorm", "Dropout", "FeedForward",
     "MultiHeadAttention", "TransformerBlock", "causal_mask", "padding_mask",
     "GRU", "GRUCell", "CausalConv1d", "NextItNetResidualBlock",
@@ -43,5 +43,7 @@ __all__ = [
     "kmeans", "kmeans_assign", "sign_codes", "hamming_distances",
     "SGD", "Adam", "AdamW", "clip_grad_norm",
     "ConstantSchedule", "WarmupCosineSchedule",
-    "save_checkpoint", "load_checkpoint", "filter_state", "strip_prefix",
+    "save_checkpoint", "load_checkpoint", "checkpoint_meta",
+    "CHECKPOINT_FORMAT", "filter_state", "strip_prefix",
+    "scatter_add_rows",
 ]

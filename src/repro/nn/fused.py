@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 
 import numpy as np
 from . import ops as _ops
@@ -52,7 +53,34 @@ __all__ = ["fusion_enabled", "use_fused", "scaled_dot_product_attention",
            "info_nce"]
 
 _FUSED_ENV = "REPRO_FUSED"
-_OVERRIDE: list[bool] = []
+
+
+class _OverrideStack(threading.local):
+    """Per-thread ``use_fused`` nesting (list-shaped: append/pop/[-1]).
+
+    Thread-local for the same reason as the engine's gradient gate: a
+    ``TrainConfig(fused=...)`` pin on the streaming fine-tune thread
+    must not flip kernel dispatch under concurrent serving threads (and
+    vice versa).
+    """
+
+    def __init__(self):
+        self._stack: list[bool] = []
+
+    def append(self, value: bool) -> None:
+        self._stack.append(value)
+
+    def pop(self) -> bool:
+        return self._stack.pop()
+
+    def __getitem__(self, index: int) -> bool:
+        return self._stack[index]
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+_OVERRIDE = _OverrideStack()
 
 
 def fusion_enabled() -> bool:

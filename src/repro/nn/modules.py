@@ -8,6 +8,7 @@ LayerNorm, Dropout, feed-forward) used by every encoder.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -19,12 +20,32 @@ from .fused import linear as linear_fn
 from .ops import dropout as dropout_fn
 from .ops import dropout_mask as dropout_mask_fn
 from .ops import embedding as embedding_fn
-from .tensor import Parameter, Tensor, get_default_dtype
+from .tensor import Parameter, Tensor, get_default_dtype, no_grad
 
 __all__ = [
     "Module", "ModuleList", "Sequential", "Linear", "Embedding",
-    "LayerNorm", "Dropout", "FeedForward", "Identity",
+    "LayerNorm", "Dropout", "FeedForward", "Identity", "inference_mode",
 ]
+
+
+@contextlib.contextmanager
+def inference_mode(module):
+    """Eval mode + ``no_grad`` for the block, restoring train mode after.
+
+    The shared wrapper for catalogue/row encoding: the recursive mode
+    walk is skipped entirely when the module is already in eval (the
+    serving steady state pays nothing), and restoration is
+    exception-safe.
+    """
+    was_training = bool(getattr(module, "training", False))
+    if was_training:
+        module.eval()
+    try:
+        with no_grad():
+            yield
+    finally:
+        if was_training:
+            module.train(True)
 
 
 class Module:
@@ -117,7 +138,16 @@ class Module:
 
     def load_state_dict(self, state: dict[str, np.ndarray],
                         strict: bool = True) -> None:
-        """Load parameter values in place from :meth:`state_dict` output."""
+        """Load parameter values in place from :meth:`state_dict` output.
+
+        The load is *atomic*: every key and shape is validated before any
+        parameter is written, so a bad checkpoint can never leave the
+        module half-loaded — which is what makes in-process hot-swapping
+        (``repro.stream``) safe to retry after a failed load. Strict mode
+        (the default) raises on missing or unexpected keys; shape
+        mismatches raise in both modes, reporting every offending key at
+        once rather than the first.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -125,14 +155,23 @@ class Module:
             raise KeyError(
                 f"state_dict mismatch: missing={sorted(missing)} "
                 f"unexpected={sorted(unexpected)}")
+        staged: list[tuple["Parameter", np.ndarray]] = []
+        mismatched: list[str] = []
         for name, param in own.items():
-            if name in state:
-                value = np.asarray(state[name], dtype=param.data.dtype)
-                if value.shape != param.shape:
-                    raise ValueError(
-                        f"shape mismatch for {name}: "
-                        f"{value.shape} vs {param.shape}")
-                param.data = value.copy()
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.shape:
+                mismatched.append(f"{name}: checkpoint {value.shape} "
+                                  f"vs module {param.shape}")
+            else:
+                staged.append((param, value))
+        if mismatched:
+            raise ValueError("state_dict shape mismatch for "
+                             f"{len(mismatched)} parameter(s): "
+                             + "; ".join(mismatched))
+        for param, value in staged:
+            param.data = value.copy()
 
     # -- call protocol --------------------------------------------------------------
 

@@ -18,7 +18,8 @@ import math
 import numpy as np
 from scipy import special
 
-from .tensor import Tensor, as_tensor, is_grad_enabled, where
+from .tensor import (Tensor, as_tensor, is_grad_enabled, scatter_add_rows,
+                     where)
 
 __all__ = [
     "softmax", "log_softmax", "cross_entropy", "embedding", "gelu",
@@ -129,18 +130,21 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Look up rows of ``weight`` (num_embeddings, dim) by integer indices.
 
-    The backward pass scatter-adds gradients into the rows that were used,
-    which keeps sparse lookups exact even with repeated indices.
+    The backward pass scatter-adds gradients into the rows that were used
+    (sorted runs + ``np.add.reduceat`` rather than per-element
+    ``np.add.at``), which keeps sparse lookups exact even with repeated
+    indices while touching each unique row once.
     """
     indices = np.asarray(indices)
     out_data = weight.data[indices]
     if not (is_grad_enabled() and weight.requires_grad):
         return Tensor._wrap(out_data)
+    flat_indices = indices.reshape(-1)
 
     def backward(g):
         full = np.zeros_like(weight.data)
-        np.add.at(full, indices.reshape(-1),
-                  g.reshape(-1, weight.shape[-1]))
+        scatter_add_rows(full, flat_indices,
+                         g.reshape(-1, weight.shape[-1]))
         return (full,)
 
     return Tensor._node(out_data, (weight,), backward)

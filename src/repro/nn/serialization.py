@@ -6,33 +6,104 @@ Sec. III-E of the paper) is just loading a filtered sub-dictionary.
 Dtypes round-trip: a float32 module saves float32 arrays and
 ``load_checkpoint`` hands them back exactly as stored (the loading
 module's ``load_state_dict`` casts to its own parameter dtype).
+
+Every checkpoint also carries a metadata record (under a reserved key
+that can never collide with a dotted parameter name): the archive format
+version, the saving module's class/dtype/parameter count, and any extra
+caller-supplied fields. The streaming subsystem uses the extra fields to
+version its hot-swap checkpoints (``repro.stream``); loaders use the
+counts for fail-fast validation before any parameter is touched.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
 from .modules import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "filter_state", "strip_prefix"]
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_meta",
+           "filter_state", "strip_prefix", "CHECKPOINT_FORMAT", "META_KEY"]
+
+#: Bumped when the archive layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+#: Reserved archive entry holding the JSON metadata record. Parameter
+#: names are dotted attribute paths, so they can never equal this.
+META_KEY = "__repro_checkpoint__"
 
 
-def save_checkpoint(module: Module, path: str) -> None:
-    """Write ``module.state_dict()`` to ``path`` as an npz archive."""
+def save_checkpoint(module: Module, path: str,
+                    meta: dict | None = None) -> None:
+    """Write ``module.state_dict()`` to ``path`` as an npz archive.
+
+    ``meta`` entries (JSON-serializable) are stored alongside the
+    built-in record — e.g. the streaming worker records the swap version
+    and fine-tune step count of each published checkpoint.
+    """
     state = module.state_dict()
+    record = {"format": CHECKPOINT_FORMAT,
+              "module": type(module).__name__,
+              "dtype": str(module.param_dtype),
+              "params": len(state)}
+    if meta:
+        overlap = set(meta) & set(record)
+        if overlap:
+            raise ValueError(f"meta keys {sorted(overlap)} collide with "
+                             "built-in checkpoint metadata")
+        record.update(meta)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **state)
+    np.savez(path, **state,
+             **{META_KEY: np.array(json.dumps(record))})
 
 
-def load_checkpoint(path: str) -> dict[str, np.ndarray]:
-    """Read a state dict saved by :func:`save_checkpoint`."""
+def load_checkpoint(path: str,
+                    with_meta: bool = False) -> dict[str, np.ndarray] | tuple:
+    """Read a state dict saved by :func:`save_checkpoint`.
+
+    Returns the state mapping, or ``(state, meta)`` with
+    ``with_meta=True``. Checkpoints written before metadata existed load
+    fine (``meta`` is then an empty dict); a checkpoint written by a
+    *newer* archive format than this code understands is refused rather
+    than half-loaded.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    meta: dict = {}
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != META_KEY}
+        if META_KEY in archive.files:
+            meta = json.loads(str(archive[META_KEY]))
+    fmt = meta.get("format", CHECKPOINT_FORMAT)
+    if fmt > CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"checkpoint {path!r} uses archive format {fmt}, newer than "
+            f"the supported format {CHECKPOINT_FORMAT}")
+    declared = meta.get("params")
+    if declared is not None and declared != len(state):
+        raise ValueError(
+            f"checkpoint {path!r} is corrupt: metadata declares {declared} "
+            f"parameters but the archive holds {len(state)}")
+    return (state, meta) if with_meta else state
+
+
+def checkpoint_meta(path: str) -> dict:
+    """The metadata record of a checkpoint (empty for pre-metadata files).
+
+    Reads only the metadata entry — npz members decompress lazily, so
+    inspecting a directory of versioned hot-swap checkpoints never pays
+    for the parameter arrays.
+    """
     if not path.endswith(".npz"):
         path = path + ".npz"
     with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files}
+        if META_KEY not in archive.files:
+            return {}
+        return json.loads(str(archive[META_KEY]))
 
 
 def filter_state(state: dict[str, np.ndarray],

@@ -35,14 +35,41 @@ finite differences in ``tests/nn/test_autograd.py`` and
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor",
-           "default_dtype", "get_default_dtype", "set_default_dtype"]
+           "default_dtype", "get_default_dtype", "set_default_dtype",
+           "scatter_add_rows"]
 
-_GRAD = [True]
+
+class _GradStack(threading.local):
+    """Per-thread ``no_grad`` nesting (list-shaped: append/pop/[-1]).
+
+    The gradient gate must be thread-local: online serving scores under
+    ``no_grad`` on request threads while the streaming fine-tune worker
+    builds training graphs concurrently (``repro.stream``) — with a
+    shared stack, any request thread inside its inference block would
+    silently disable graph construction for every other thread's ops.
+    Each thread starts grad-enabled.
+    """
+
+    def __init__(self):
+        self._stack = [True]
+
+    def append(self, value: bool) -> None:
+        self._stack.append(value)
+
+    def pop(self) -> bool:
+        return self._stack.pop()
+
+    def __getitem__(self, index: int) -> bool:
+        return self._stack[index]
+
+
+_GRAD = _GradStack()
 
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 _DEFAULT_DTYPE = [np.dtype(np.float64)]
@@ -98,6 +125,41 @@ def set_default_dtype(dtype) -> None:
     if resolved not in _FLOAT_DTYPES:
         raise TypeError(f"default dtype must be float32 or float64, got {resolved}")
     _DEFAULT_DTYPE[0] = resolved
+
+
+def scatter_add_rows(out: np.ndarray, indices: np.ndarray,
+                     rows: np.ndarray) -> np.ndarray:
+    """Accumulate ``rows`` into ``out[indices]`` without ``np.add.at``.
+
+    ``np.add.at`` processes one element at a time through ufunc buffering,
+    which makes it the dominant cost of embedding backward passes (where
+    a batch repeats a small set of item ids many times). Sorting the
+    indices instead groups duplicate rows into contiguous runs, sums each
+    run with one vectorized ``np.add.reduceat``, and touches each unique
+    destination row exactly once.
+
+    ``out`` is modified in place (and returned); ``indices`` is a 1-D
+    integer array with one entry per row of ``rows``. Semantics match
+    ``np.add.at(out, indices, rows)`` — repeated and negative indices
+    included — up to floating-point summation order within a run.
+    """
+    indices = np.asarray(indices)
+    if indices.size == 0:
+        return out
+    if indices.size == 1:
+        out[indices[0]] += rows[0]
+        return out
+    if indices.min() < 0:
+        # Normalize so -i and n-i sort into the same run; otherwise the
+        # final fancy += would see the row twice and drop one update.
+        indices = np.where(indices < 0, indices + out.shape[0], indices)
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    starts = np.flatnonzero(np.concatenate(
+        ([True], sorted_idx[1:] != sorted_idx[:-1])))
+    sums = np.add.reduceat(rows[order], starts, axis=0)
+    out[sorted_idx[starts]] += sums
+    return out
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -584,10 +646,23 @@ class Tensor:
         if not (_GRAD[-1] and self.requires_grad):
             return Tensor._wrap(out_data)
         a = self
+        # Integer-array gathers along axis 0 (the embedding-lookup shape)
+        # take the sort+reduceat scatter; anything fancier falls back to
+        # the general (slow, element-buffered) np.add.at.
+        row_key = None
+        if not isinstance(key, (tuple, Tensor)):
+            candidate = np.asarray(key)
+            if candidate.dtype.kind in "iu" and candidate.ndim >= 1 \
+                    and a.data.ndim >= 1:
+                row_key = candidate.reshape(-1)
 
         def backward(g):
             full = np.zeros_like(a.data)
-            np.add.at(full, key, g)
+            if row_key is not None:
+                scatter_add_rows(full.reshape(full.shape[0], -1), row_key,
+                                 np.asarray(g).reshape(row_key.size, -1))
+            else:
+                np.add.at(full, key, g)
             return (full,)
 
         return Tensor._node(out_data, (a,), backward)

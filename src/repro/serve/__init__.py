@@ -23,7 +23,7 @@ See ``docs/serving.md`` for the architecture and the endpoint contract.
 
 from .ann import (ANN_KINDS, AnnIndex, AnnSearch, IVFIndex, LSHIndex,
                   make_ann_index)
-from .batcher import BatcherStats, LRUCache, MicroBatcher
+from .batcher import BatcherClosed, BatcherStats, LRUCache, MicroBatcher
 from .bench import (BenchReport, RetrievalReport, bench_full_sort_path,
                     bench_retrieval, bench_topk_path, compare_paths,
                     render_comparison, render_retrieval, request_stream,
@@ -43,7 +43,7 @@ __all__ = [
     "ANN_KINDS", "AnnIndex", "AnnSearch", "IVFIndex", "LSHIndex",
     "make_ann_index",
     "Recommendation", "Recommender", "RetrievalStats",
-    "MicroBatcher", "LRUCache", "BatcherStats",
+    "MicroBatcher", "LRUCache", "BatcherStats", "BatcherClosed",
     "ModelRegistry", "Scenario", "ScenarioSpec", "build_model",
     "RecommendationService",
     "RecommendationServer", "make_server", "serve_forever",

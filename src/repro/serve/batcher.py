@@ -22,7 +22,17 @@ import numpy as np
 
 from .recommender import Recommendation, Recommender
 
-__all__ = ["BatcherStats", "LRUCache", "MicroBatcher"]
+__all__ = ["BatcherClosed", "BatcherStats", "LRUCache", "MicroBatcher"]
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after :meth:`MicroBatcher.close`.
+
+    A distinct type so the service can tell the benign hot-swap race (a
+    request routed to a batcher an instant before its scenario was
+    swapped out) from real runtime errors, and transparently retry
+    against the replacement batcher instead of dropping the request.
+    """
 
 
 @dataclass
@@ -127,7 +137,7 @@ class MicroBatcher:
         key = _request_key(history, k, self.recommender.index_version)
         with self._cond:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise BatcherClosed("MicroBatcher is closed")
             self.stats.requests += 1
             # A stale index means the current version number still names
             # the pre-update snapshot: bypass the cache so the flush

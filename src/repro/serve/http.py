@@ -18,6 +18,14 @@ Endpoint contract (all bodies JSON):
     "index_version": int, "cached": bool, "latency_ms": float, ...}``
 ``POST /refresh``
     request ``{"dataset": str, "model": str}`` → ``{"index_version": int}``
+``POST /events`` (streaming services only — ``repro stream``)
+    request ``{"dataset": str, "model": str, "events": [
+    {"user": int, "item": int} | {"user": int?, "item":
+    {"text_tokens": [...], "image": [[...]]?, "topic": int?}}, ...]}``
+    → ingestion receipt ``{"accepted": int, "cold_item_ids": [...], ...}``
+``POST /swap``
+    request ``{"dataset": str, "model": str}`` → hot-swap report
+    (``{"version": int, "kind": "full"|"catalog", "latency_ms": ...}``)
 
 Errors come back as ``{"error": <message>}`` with status 400 (bad
 request), 404 (unknown route/scenario) or 500.
@@ -104,6 +112,19 @@ class _Handler(BaseHTTPRequestHandler):
                 version = service.refresh(str(payload.get("dataset", "")),
                                           str(payload.get("model", "")))
                 self._send({"index_version": version})
+            elif self.path == "/events":
+                events = payload.get("events")
+                if not isinstance(events, list) or not events:
+                    raise ValueError("'events' must be a non-empty list")
+                receipt = service.ingest_events(
+                    str(payload.get("dataset", "")),
+                    str(payload.get("model", "")), events)
+                self._send(receipt)
+            elif self.path == "/swap":
+                report = service.trigger_swap(
+                    str(payload.get("dataset", "")),
+                    str(payload.get("model", "")))
+                self._send(report)
             else:
                 self._error(f"unknown route {self.path!r}", 404)
         except KeyError as exc:

@@ -36,7 +36,7 @@ class CatalogIndex:
     """
 
     def __init__(self, model, dataset, dtype=None, chunk_size: int = 256,
-                 ann: AnnIndex | None = None):
+                 ann: AnnIndex | None = None, start_version: int = 0):
         if not hasattr(model, "encode_catalog"):
             raise TypeError(
                 f"{type(model).__name__} does not expose encode_catalog, "
@@ -47,7 +47,10 @@ class CatalogIndex:
         self.chunk_size = chunk_size
         self._matrix: np.ndarray | None = None
         self._ann = ann
-        self._version = 0
+        # start_version lets a hot-swapped scenario's fresh index continue
+        # the retired index's version sequence, keeping the version a
+        # client sees monotonic across model generations.
+        self._version = start_version
         self._stale = True
         self._stale_epoch = 0
         # _lock guards the published state and is only ever held briefly;
@@ -115,6 +118,48 @@ class CatalogIndex:
                 ann.fit(matrix, version=version)
 
     # -- building ------------------------------------------------------------
+
+    def publish_partial(self, base_matrix: np.ndarray,
+                        changed_ids: np.ndarray) -> int:
+        """Publish a version that reuses ``base_matrix`` rows, re-encoding
+        only ``changed_ids``; returns the new version.
+
+        This is the hot-swap fast path for catalogue *growth without
+        weight change*: when new (cold) items arrive but the model that
+        produced ``base_matrix`` is unchanged, every existing row is
+        still exact, so only the new/changed rows are encoded —
+        ``O(|changed|)`` instead of ``O(num_items)``. The caller is
+        responsible for the precondition (same weights); a weight update
+        invalidates every row and must use :meth:`refresh`. Falls back
+        to a full rebuild for models without the row-encode protocol.
+        """
+        if not hasattr(self.model, "encode_item_rows"):
+            return self.refresh()
+        with self._refresh_lock:
+            with self._lock:
+                next_version = self._version + 1
+                ann = self._ann
+                epoch = self._stale_epoch
+            rows = self.dataset.num_items + 1
+            dtype = self.dtype if self.dtype is not None \
+                else base_matrix.dtype
+            matrix = np.zeros((rows, base_matrix.shape[1]), dtype=dtype)
+            keep = min(base_matrix.shape[0], rows)
+            matrix[:keep] = base_matrix[:keep]
+            changed = np.asarray(changed_ids, dtype=np.int64)
+            if changed.size:
+                for start in range(0, changed.size, self.chunk_size):
+                    ids = changed[start:start + self.chunk_size]
+                    fresh = self.model.encode_item_rows(self.dataset, ids)
+                    matrix[ids] = fresh.astype(dtype, copy=False)
+            matrix.flags.writeable = False
+            if ann is not None:
+                ann.fit(matrix, version=next_version)
+            with self._lock:
+                self._matrix = matrix
+                self._stale = self._stale_epoch != epoch
+                self._version = next_version
+                return next_version
 
     def refresh(self) -> int:
         """Re-encode the catalogue and publish a new version; returns it.

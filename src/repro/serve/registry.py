@@ -123,13 +123,7 @@ class ModelRegistry:
             model.load_state_dict(load_checkpoint(spec.checkpoint))
         if self.dtype is not None and hasattr(model, "to_dtype"):
             model.to_dtype(self.dtype)
-        extra = ({} if self.min_ann_items is None
-                 else {"min_ann_items": self.min_ann_items})
-        recommender = Recommender(model, dataset,
-                                  exclude_seen=self.exclude_seen,
-                                  index_dtype=self.dtype,
-                                  retrieval=self.retrieval,
-                                  ann_params=self.ann_params, **extra)
+        recommender = self.build_recommender(model, dataset)
         scenario = Scenario(spec=spec, dataset=dataset, model=model,
                             recommender=recommender)
         if self.warm and recommender.index is not None:
@@ -143,6 +137,48 @@ class ModelRegistry:
         if isinstance(specs, str):
             specs = [s for s in specs.split(",") if s.strip()]
         return [self.add(spec, seed=seed) for spec in specs]
+
+    def build_recommender(self, model, dataset, index=None) -> Recommender:
+        """One :class:`Recommender` wired with this registry's settings.
+
+        The single place the retrieval configuration (exclude-seen,
+        dtype, ANN backend/knobs) turns into a recommender — used by
+        :meth:`add` and by the hot-swap path (``repro.stream``), so a
+        swapped-in generation can never serve with different retrieval
+        configuration than a freshly loaded one.
+        """
+        extra = ({} if self.min_ann_items is None
+                 else {"min_ann_items": self.min_ann_items})
+        return Recommender(model, dataset, index=index,
+                           exclude_seen=self.exclude_seen,
+                           index_dtype=self.dtype,
+                           retrieval=self.retrieval,
+                           ann_params=self.ann_params, **extra)
+
+    # -- hot swap ------------------------------------------------------------
+
+    def publish(self, scenario: Scenario) -> Scenario:
+        """Atomically replace a loaded scenario with a new generation.
+
+        This is the registry half of a hot swap (``repro.stream``): the
+        caller builds a fully warmed :class:`Scenario` (model + dataset
+        snapshot + recommender whose index is already encoded) off the
+        request path, then publishes it here. Routing flips on a single
+        dict assignment — requests already scoring against the old
+        generation finish against it; the serving facade retires the old
+        generation's batcher separately (see
+        ``RecommendationService.retire_batcher``). Returns the scenario
+        it replaced, or raises if the key was never loaded (a swap must
+        target a serving scenario, not create one).
+        """
+        key = scenario.spec.key
+        if key not in self._scenarios:
+            known = sorted(f"{d}:{m}" for d, m in self._scenarios)
+            raise KeyError(f"cannot publish {key[0]}:{key[1]}: scenario "
+                           f"not loaded; loaded scenarios: {known}")
+        previous = self._scenarios[key]
+        self._scenarios[key] = scenario
+        return previous
 
     # -- routing -------------------------------------------------------------
 

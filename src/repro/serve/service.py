@@ -5,6 +5,15 @@ talk to: it owns a :class:`~repro.serve.registry.ModelRegistry`, lazily
 attaches a :class:`~repro.serve.batcher.MicroBatcher` to each scenario,
 and answers ``recommend(dataset, model, history, k)`` with a
 JSON-serializable payload including the request latency.
+
+A streaming manager (``repro.stream``) can be attached to close the
+train→serve loop online: the service then accepts ``POST /events``
+ingestion and exposes swap/staleness counters on ``/stats``, and its
+routing survives hot swaps — a request that races a scenario
+replacement is transparently retried against the new generation, so
+swaps never drop traffic. The service only knows the small duck-typed
+protocol (``ingest`` / ``swap`` / ``stats`` / ``close``), keeping the
+layering one-directional (stream imports serve, never the reverse).
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 import threading
 import time
 
-from .batcher import MicroBatcher
+from .batcher import BatcherClosed, MicroBatcher
 from .recommender import Recommendation
 from .registry import ModelRegistry, Scenario
 
@@ -30,6 +39,7 @@ class RecommendationService:
         self.max_wait_ms = max_wait_ms
         self.cache_size = cache_size
         self.batching = batching
+        self.stream = None          # attached via attach_stream()
         self._batchers: dict[tuple[str, str], MicroBatcher] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -63,10 +73,22 @@ class RecommendationService:
         """Answer one request; returns the JSON payload for the endpoint."""
         if self._closed:
             raise RuntimeError("service is closed")
-        scenario = self.registry.get(dataset, model)
         start = time.perf_counter()
-        result: Recommendation = self._batcher(scenario).recommend(
-            history, k=k)
+        # A request can race a hot swap: it resolves the scenario, the
+        # swap publishes a new generation and retires the old batcher,
+        # then the request submits to the now-closed batcher. The old
+        # batcher drained everything already queued before closing, so
+        # the only casualty is this not-yet-queued request — retry it
+        # against the replacement generation instead of dropping it.
+        for attempt in range(5):
+            scenario = self.registry.get(dataset, model)
+            try:
+                result: Recommendation = self._batcher(scenario).recommend(
+                    history, k=k)
+                break
+            except BatcherClosed:
+                if attempt == 4:  # pragma: no cover - would need 5 swaps
+                    raise
         payload = result.to_json()
         payload.update(dataset=dataset, model=model,
                        latency_ms=(time.perf_counter() - start) * 1e3)
@@ -75,6 +97,46 @@ class RecommendationService:
     def refresh(self, dataset: str, model: str) -> int:
         """Rebuild one scenario's catalogue index; returns the new version."""
         return self.registry.get(dataset, model).recommender.refresh()
+
+    # -- streaming / hot swap ------------------------------------------------
+
+    def attach_stream(self, manager) -> None:
+        """Attach a continual-learning manager (see ``repro.stream``).
+
+        ``manager`` must provide ``ingest(dataset, model, events)``,
+        ``swap(dataset, model)``, ``stats()`` and ``close()``. Once
+        attached, the manager's lifecycle is tied to the service's.
+        """
+        self.stream = manager
+
+    def ingest_events(self, dataset: str, model: str, events: list) -> dict:
+        """Feed interaction/cold-item events to the streaming pipeline."""
+        if self.stream is None:
+            raise ValueError("streaming is not enabled on this service; "
+                             "start it with `repro stream`")
+        return self.stream.ingest(dataset, model, events)
+
+    def trigger_swap(self, dataset: str, model: str) -> dict:
+        """Force a hot swap of one scenario's model/index generation."""
+        if self.stream is None:
+            raise ValueError("streaming is not enabled on this service; "
+                             "start it with `repro stream`")
+        return self.stream.swap(dataset, model)
+
+    def retire_batcher(self, key: tuple[str, str]) -> None:
+        """Close (drain) the batcher bound to a swapped-out scenario.
+
+        Called by the hot-swap path right after ``registry.publish`` so
+        the old generation stops serving promptly instead of on the next
+        request. Every request already queued in the old batcher is
+        flushed against the old (still fully consistent) model+index
+        before it closes; new requests build a fresh batcher bound to
+        the new generation on arrival.
+        """
+        with self._lock:
+            batcher = self._batchers.pop(key, None)
+        if batcher is not None:
+            batcher.close()
 
     # -- introspection -------------------------------------------------------
 
@@ -91,15 +153,21 @@ class RecommendationService:
             counters["retrieval"] = \
                 batcher.recommender.describe_retrieval()
             per_scenario[f"{d}:{m}"] = counters
-        return {"scenarios": per_scenario,
-                "settings": {"max_batch": self.max_batch,
-                             "max_wait_ms": self.max_wait_ms,
-                             "cache_size": self.cache_size,
-                             "batching": self.batching}}
+        payload = {"scenarios": per_scenario,
+                   "settings": {"max_batch": self.max_batch,
+                                "max_wait_ms": self.max_wait_ms,
+                                "cache_size": self.cache_size,
+                                "batching": self.batching}}
+        if self.stream is not None:
+            payload["stream"] = self.stream.stats()
+        return payload
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        stream, self.stream = self.stream, None
+        if stream is not None:
+            stream.close()          # stop fine-tune workers first
         with self._lock:
             self._closed = True
             batchers = list(self._batchers.values())

@@ -1,0 +1,42 @@
+"""``repro.stream`` — online continual learning over the serving stack.
+
+The paper frames transfer as a *continual* process: a multi-modal
+recommender should absorb new interactions — and brand-new items that
+exist only as text/image features — without ID re-learning. This
+subsystem closes that loop against live traffic:
+
+* :mod:`~repro.stream.events` — the event schema (interactions +
+  cold items with modality payloads), the append-only :class:`EventLog`
+  and the bounded :class:`ReplayBuffer`;
+* :class:`GrowableDataset` — copy-on-write catalogue growth whose
+  snapshots are immutable by construction (the data half of atomicity);
+* :class:`FineTuneWorker` — the background thread draining the replay
+  buffer into incremental :meth:`Trainer.train_step` updates on a
+  shadow model, and the atomic hot-swap publishing a pre-warmed
+  generation (model + dataset snapshot + catalogue index + ANN) into
+  the registry without dropping in-flight requests;
+* :class:`StreamManager` — per-scenario workers behind the service's
+  ``POST /events`` / ``POST /swap`` routes and ``/stats`` counters;
+* :mod:`~repro.stream.bench` — synthetic event generation and the
+  swap-under-load throughput benchmark behind ``repro bench-stream``.
+
+See ``docs/streaming.md`` for the architecture and failure modes.
+"""
+
+from .bench import (bench_stream, render_stream_report, run_stream_smoke,
+                    synthetic_cold_items, synthetic_interactions)
+from .dataset import GrowableDataset
+from .events import (ColdItemEvent, EventLog, InteractionEvent, ReplayBuffer,
+                     parse_event, parse_events)
+from .manager import StreamManager
+from .worker import FineTuneWorker, StreamConfig, SwapReport
+
+__all__ = [
+    "InteractionEvent", "ColdItemEvent", "parse_event", "parse_events",
+    "EventLog", "ReplayBuffer",
+    "GrowableDataset",
+    "FineTuneWorker", "StreamConfig", "SwapReport",
+    "StreamManager",
+    "bench_stream", "render_stream_report", "run_stream_smoke",
+    "synthetic_interactions", "synthetic_cold_items",
+]

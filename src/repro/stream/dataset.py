@@ -1,0 +1,130 @@
+"""A ``SeqDataset`` that grows online: new items, new users, new clicks.
+
+The offline pipeline builds immutable datasets (and caches them — two
+scenarios may share one object), so the streaming path never mutates a
+base dataset in place. Instead :class:`GrowableDataset` starts from a
+copy-on-write view and applies growth by *replacement*: appending an
+item concatenates new per-item arrays, appending an interaction builds
+a new sequence array for that user. Published snapshots therefore stay
+internally consistent forever — they keep referencing the arrays that
+existed when :meth:`snapshot` ran, no matter how far the growable view
+has moved on. This is what makes the hot swap atomic at the data layer:
+the serving scenario holds a snapshot, the fine-tune worker holds the
+growable view, and the two never share a mutable buffer.
+
+Single-writer by design: all mutation goes through the ingestion lock of
+the owning :class:`~repro.stream.worker.FineTuneWorker`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.catalog import MAX_TEXT_LEN, SeqDataset
+
+__all__ = ["GrowableDataset"]
+
+
+class GrowableDataset(SeqDataset):
+    """Append-only growth over a base :class:`SeqDataset`."""
+
+    #: num_items of the base dataset this view grew from (set by from_base).
+    base_num_items: int = 0
+
+    @classmethod
+    def from_base(cls, base: SeqDataset) -> "GrowableDataset":
+        """Copy-on-write view over ``base`` (arrays shared until growth)."""
+        grown = cls(name=base.name, platform=base.platform,
+                    num_items=base.num_items,
+                    sequences=list(base.sequences),
+                    text_tokens=base.text_tokens,
+                    images=base.images,
+                    item_topics=base.item_topics,
+                    item_latents=base.item_latents,
+                    split=base.split, stats=dict(base.stats))
+        grown.base_num_items = base.num_items
+        return grown
+
+    # -- item growth ---------------------------------------------------------
+
+    def add_item(self, text_tokens: np.ndarray,
+                 image: np.ndarray | None = None, topic: int = -1,
+                 latent: np.ndarray | None = None) -> int:
+        """Register one cold item; returns its newly assigned id.
+
+        ``text_tokens`` are catalogue-vocabulary ids (truncated/padded to
+        the dataset's text length); ``image`` defaults to the all-zero
+        image (text-only item); ``latent`` is generator ground truth and
+        only supplied by tests/benchmarks.
+        """
+        text_len = self.text_tokens.shape[1] if self.text_tokens.size \
+            else MAX_TEXT_LEN
+        row_tokens = np.zeros((1, text_len), dtype=self.text_tokens.dtype)
+        tokens = np.asarray(text_tokens, dtype=np.int64).reshape(-1)
+        row_tokens[0, :min(tokens.size, text_len)] = tokens[:text_len]
+
+        row_image = np.zeros((1,) + self.images.shape[1:],
+                             dtype=self.images.dtype)
+        if image is not None:
+            image = np.asarray(image, dtype=self.images.dtype)
+            if image.shape != self.images.shape[1:]:
+                raise ValueError(f"cold-item image shape {image.shape} "
+                                 f"!= catalogue {self.images.shape[1:]}")
+            row_image[0] = image
+
+        row_latent = np.zeros((1,) + self.item_latents.shape[1:],
+                              dtype=self.item_latents.dtype)
+        if latent is not None:
+            row_latent[0] = np.asarray(latent, dtype=self.item_latents.dtype)
+
+        # Growth by replacement: snapshots holding the old arrays stay
+        # valid; only this view adopts the widened ones.
+        self.text_tokens = np.concatenate([self.text_tokens, row_tokens])
+        self.images = np.concatenate([self.images, row_image])
+        self.item_topics = np.concatenate(
+            [self.item_topics, np.array([topic], dtype=np.int64)])
+        self.item_latents = np.concatenate([self.item_latents, row_latent])
+        self.num_items += 1
+        return self.num_items
+
+    # -- interaction growth --------------------------------------------------
+
+    def add_interaction(self, user: int | None, item: int) -> np.ndarray:
+        """Append one click; returns the user's updated history.
+
+        ``user`` may be ``None``/``-1`` or exactly the current user count
+        to start a fresh user; otherwise it must name an existing user.
+        The updated history is a *new* array (snapshots sharing the
+        sequence list copy are untouched).
+        """
+        if not 1 <= item <= self.num_items:
+            raise ValueError(f"item id {item} outside catalogue "
+                             f"[1, {self.num_items}]")
+        if user is None or user == -1 or user == len(self.sequences):
+            history = np.array([item], dtype=np.int64)
+            self.sequences.append(history)
+            return history
+        if not 0 <= user < len(self.sequences):
+            raise ValueError(f"user id {user} outside [0, "
+                             f"{len(self.sequences)}] (use -1 for new)")
+        history = np.append(self.sequences[user], np.int64(item))
+        self.sequences[user] = history
+        return history
+
+    # -- publication ---------------------------------------------------------
+
+    def new_item_ids(self, since_num_items: int) -> np.ndarray:
+        """Ids added after the catalogue had ``since_num_items`` items."""
+        return np.arange(since_num_items + 1, self.num_items + 1,
+                         dtype=np.int64)
+
+    def snapshot(self) -> SeqDataset:
+        """An immutable view of the current state, safe to serve from."""
+        return SeqDataset(name=self.name, platform=self.platform,
+                          num_items=self.num_items,
+                          sequences=list(self.sequences),
+                          text_tokens=self.text_tokens,
+                          images=self.images,
+                          item_topics=self.item_topics,
+                          item_latents=self.item_latents,
+                          split=self.split, stats=dict(self.stats))

@@ -1,0 +1,230 @@
+"""Interaction-event schema, the append-only log and the replay buffer.
+
+Events are the unit of online learning: a user interacted with an item,
+or a brand-new (cold) item arrived carrying nothing but its modality
+features — the exact situation the paper's transferability claim is
+about (Sec. III-E: no ID re-learning, the item is representable the
+moment its text/image exists).
+
+Three pieces:
+
+* :func:`parse_event` / the two event dataclasses — the JSON wire format
+  accepted by ``POST /events`` and the CLI;
+* :class:`EventLog` — an append-only record with monotonic sequence
+  numbers, bounded in-memory tail and an optional JSONL sink (the
+  stand-in for a durable commit log such as Kafka);
+* :class:`ReplayBuffer` — the bounded training-side view: recent user
+  histories the background fine-tune worker samples mini-batches from.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InteractionEvent", "ColdItemEvent", "parse_event",
+           "parse_events", "EventLog", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """User ``user`` interacted with existing catalogue item ``item``.
+
+    ``user`` may be ``-1`` (or the current user count) to mean "a user
+    this service has never seen": a fresh sequence is started for them.
+    """
+
+    user: int
+    item: int
+
+    def to_json(self) -> dict:
+        return {"user": self.user, "item": self.item}
+
+
+@dataclass(frozen=True)
+class ColdItemEvent:
+    """A new item, described only by its modality features.
+
+    ``text_tokens`` are catalogue-vocabulary token ids (already offset,
+    as stored in ``SeqDataset.text_tokens``); ``image`` is an optional
+    ``(S, S, 3)`` array (omitted → zeros, i.e. text-only item);
+    ``topic`` is the latent topic id when known (-1 otherwise). When
+    ``user`` is given the event also records that user's interaction
+    with the new item, so one event both registers and consumes it.
+    """
+
+    text_tokens: np.ndarray
+    image: np.ndarray | None = None
+    topic: int = -1
+    user: int | None = None
+
+    def to_json(self) -> dict:
+        item: dict = {"text_tokens": [int(t) for t in self.text_tokens],
+                      "topic": int(self.topic)}
+        if self.image is not None:
+            item["image"] = np.asarray(self.image).tolist()
+        out: dict = {"item": item}
+        if self.user is not None:
+            out["user"] = int(self.user)
+        return out
+
+
+def parse_event(payload: dict) -> InteractionEvent | ColdItemEvent:
+    """Parse one JSON event object into its dataclass form."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"event must be a JSON object, got {payload!r}")
+    item = payload.get("item")
+    if isinstance(item, dict):
+        tokens = item.get("text_tokens")
+        if not isinstance(tokens, (list, tuple)) or not tokens:
+            raise ValueError("cold-item event needs non-empty 'text_tokens'")
+        image = item.get("image")
+        return ColdItemEvent(
+            text_tokens=np.asarray(tokens, dtype=np.int64),
+            image=None if image is None else np.asarray(image, dtype=float),
+            topic=int(item.get("topic", -1)),
+            user=None if payload.get("user") is None
+            else int(payload["user"]))
+    if item is None:
+        raise ValueError("event needs an 'item' (id or cold-item object)")
+    if payload.get("user") is None:
+        raise ValueError("interaction event needs a 'user'")
+    return InteractionEvent(user=int(payload["user"]), item=int(item))
+
+
+def parse_events(payloads: list) -> list:
+    """Parse a batch, reporting the offending position on error."""
+    events = []
+    for position, payload in enumerate(payloads):
+        try:
+            events.append(parse_event(payload))
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"event[{position}]: {exc}") from exc
+    return events
+
+
+@dataclass
+class LogRecord:
+    """One accepted event with its log position and arrival time."""
+
+    seqno: int
+    event: InteractionEvent | ColdItemEvent
+    arrived: float = field(default_factory=time.time)
+
+
+class EventLog:
+    """Append-only event record with monotonic sequence numbers.
+
+    The log is the source of truth for "how far behind is the learner":
+    ``total`` only ever grows, while consumers remember the last seqno
+    they processed. Memory stays bounded — only the most recent
+    ``tail_size`` records are retained for introspection; ``path``
+    additionally appends every event as one JSON line (a minimal durable
+    sink; production would put Kafka or a WAL here).
+    """
+
+    def __init__(self, tail_size: int = 4096, path: str | None = None):
+        self._tail: deque[LogRecord] = deque(maxlen=tail_size)
+        self._total = 0
+        self._lock = threading.Lock()
+        self._path = path
+        self._sink = open(path, "a", encoding="utf-8") if path else None
+
+    @property
+    def total(self) -> int:
+        """Events ever appended (monotonic)."""
+        with self._lock:
+            return self._total
+
+    def append(self, event) -> int:
+        """Record one event; returns its sequence number (0-based)."""
+        return self.extend([event])
+
+    def extend(self, events: list) -> int:
+        """Record a batch; returns the first sequence number.
+
+        One sink flush per batch, not per event — ingestion holds locks
+        while logging, so per-event fsync-ish syscalls would serialize
+        every concurrent ``POST /events`` behind disk latency.
+        """
+        if not events:
+            return self._total
+        with self._lock:
+            first = self._total
+            lines = []
+            for event in events:
+                seqno = self._total
+                self._total += 1
+                self._tail.append(LogRecord(seqno=seqno, event=event))
+                if self._sink is not None:
+                    lines.append(json.dumps(
+                        {"seqno": seqno, **event.to_json()}))
+            if self._sink is not None:
+                self._sink.write("\n".join(lines) + "\n")
+                self._sink.flush()
+        return first
+
+    def tail(self, count: int = 16) -> list[LogRecord]:
+        """The most recent ``count`` records (newest last)."""
+        with self._lock:
+            records = list(self._tail)
+        return records[-count:]
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+class ReplayBuffer:
+    """Bounded buffer of recent user histories for incremental training.
+
+    Each entry is one user's interaction sequence *as of the event that
+    produced it* (an immutable ``np.ndarray``). The worker samples with
+    replacement — recent interactions are revisited across rounds, which
+    is what lets a handful of events about a cold item actually move the
+    encoders. FIFO eviction keeps the window recent and the memory
+    bounded.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque[np.ndarray] = deque(maxlen=capacity)
+        self._pushed = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def pushed(self) -> int:
+        """Histories ever pushed (monotonic; ≥ current length)."""
+        with self._lock:
+            return self._pushed
+
+    def push(self, history: np.ndarray) -> None:
+        """Add one (immutable) history snapshot."""
+        with self._lock:
+            self._entries.append(history)
+            self._pushed += 1
+
+    def sample(self, rng: np.random.Generator,
+               batch_size: int) -> list[np.ndarray]:
+        """Sample ``batch_size`` histories with replacement (may be short).
+
+        Returns an empty list when the buffer is empty.
+        """
+        with self._lock:
+            entries = list(self._entries)
+        if not entries:
+            return []
+        picks = rng.integers(0, len(entries), size=batch_size)
+        return [entries[i] for i in picks]

@@ -1,0 +1,88 @@
+"""Routing facade over the per-scenario fine-tune workers.
+
+:class:`StreamManager` is what the serving stack talks to (via the small
+duck-typed protocol on :class:`~repro.serve.service.RecommendationService`):
+it owns one :class:`~repro.stream.worker.FineTuneWorker` per streamable
+scenario, parses wire-format events, and aggregates stats. Scenarios
+whose models cannot train incrementally (heuristic baselines) are listed
+as unstreamable rather than refused at startup, so a mixed registry can
+still stream the scenarios that support it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .events import parse_events
+from .worker import FineTuneWorker, StreamConfig
+
+__all__ = ["StreamManager"]
+
+
+class StreamManager:
+    """One continual-learning pipeline per streamable scenario."""
+
+    def __init__(self, service, config: StreamConfig | None = None,
+                 start: bool = True):
+        self.service = service
+        self.config = config or StreamConfig()
+        self._workers: dict[tuple[str, str], FineTuneWorker] = {}
+        self._unstreamable: dict[str, str] = {}
+        self._lock = threading.Lock()
+        for scenario in service.registry:
+            key = scenario.spec.key
+            try:
+                self._workers[key] = FineTuneWorker(
+                    service, key, config=self.config, start=start)
+            except TypeError as exc:
+                self._unstreamable[f"{key[0]}:{key[1]}"] = str(exc)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def workers(self) -> list[tuple[tuple[str, str], FineTuneWorker]]:
+        """The ``((dataset, model), worker)`` pairs currently streaming."""
+        return list(self._workers.items())
+
+    def worker(self, dataset: str, model: str) -> FineTuneWorker:
+        key = (dataset, model)
+        if key not in self._workers:
+            if f"{dataset}:{model}" in self._unstreamable:
+                raise ValueError(
+                    f"scenario {dataset}:{model} cannot stream: "
+                    + self._unstreamable[f"{dataset}:{model}"])
+            known = sorted(f"{d}:{m}" for d, m in self._workers)
+            raise KeyError(f"no streaming scenario {dataset}:{model}; "
+                           f"streaming scenarios: {known}")
+        return self._workers[key]
+
+    # -- the protocol the service delegates to -------------------------------
+
+    def ingest(self, dataset: str, model: str, events: list) -> dict:
+        """Parse and apply one wire-format event batch."""
+        return self.worker(dataset, model).ingest(parse_events(events))
+
+    def swap(self, dataset: str, model: str) -> dict:
+        """Force a hot swap now; returns the swap report."""
+        return self.worker(dataset, model).swap().to_json()
+
+    def stats(self) -> dict:
+        """Per-scenario streaming counters (under ``/stats`` → ``stream``)."""
+        out = {f"{d}:{m}": worker.stats_json()
+               for (d, m), worker in self._workers.items()}
+        if self._unstreamable:
+            out["unstreamable"] = dict(self._unstreamable)
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for worker in workers:
+            worker.close()
+
+    def __enter__(self) -> "StreamManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

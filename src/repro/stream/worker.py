@@ -1,0 +1,492 @@
+"""The background fine-tune worker and the atomic hot-swap path.
+
+One :class:`FineTuneWorker` per streaming scenario closes the paper's
+deployment loop: interaction events (including cold items that exist
+only as modality features) flow in through :meth:`ingest`, a background
+thread drains the replay buffer into mini-batches and runs incremental
+:meth:`~repro.train.trainer.Trainer.train_step` updates on a *shadow*
+copy of the serving model, and every ``steps_per_swap`` steps the worker
+publishes a new serving generation: model weights, dataset snapshot,
+catalogue index and ANN structure — atomically, without dropping
+in-flight requests.
+
+The swap protocol (the part that makes "atomic" true):
+
+1. Snapshot the growable dataset under the ingestion lock (immutable by
+   construction — growth is by array replacement, see
+   :mod:`repro.stream.dataset`).
+2. Build the publish model *off the request path*: a fresh instance
+   loaded from the shadow's ``state_dict`` (atomic, validate-first —
+   see ``Module.load_state_dict``), so serving never observes a
+   half-written weight.
+3. Pre-warm a fresh :class:`~repro.serve.index.CatalogIndex` against the
+   snapshot — a full re-encode after weight updates, or the
+   ``publish_partial`` fast path re-encoding *only new items* when the
+   catalogue grew without a weight change. The ANN structure is fitted
+   before publication, continuing the retired index's version sequence.
+4. ``registry.publish`` flips routing on one dict assignment, then the
+   service retires the old generation's micro-batcher: already-queued
+   requests flush against the old (still consistent) model+index, new
+   requests build a batcher on the new generation, and the one racing
+   request that can land on the just-closed batcher is retried by the
+   service against the new generation (``BatcherClosed``).
+
+Requests therefore see old ranks or new ranks, never a mixture.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.batching import pad_sequences
+from ..data.catalog import MAX_SEQ_LEN, text_vocab_size
+from ..serve.index import CatalogIndex
+from ..serve.registry import Scenario, build_model
+from ..train.trainer import TrainConfig, Trainer
+from .dataset import GrowableDataset
+from .events import ColdItemEvent, EventLog, InteractionEvent, ReplayBuffer
+
+__all__ = ["StreamConfig", "SwapReport", "FineTuneWorker"]
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of the online continual-learning loop."""
+
+    batch_size: int = 16         # replayed histories per fine-tune step
+    lr: float = 5e-4             # incremental steps use a gentler LR than
+                                 # offline training: the model is warm
+    clip_norm: float = 5.0
+    steps_per_swap: int = 8      # fine-tune steps between hot swaps
+    min_events_per_round: int = 8  # wake the worker per this many events
+    round_timeout_s: float = 2.0   # ... or when pending events get this old
+    buffer_capacity: int = 2048  # replay-buffer histories kept
+    max_seq_len: int = MAX_SEQ_LEN
+    checkpoint_dir: str | None = None  # versioned ckpt per full swap
+    log_tail: int = 4096
+    log_path: str | None = None  # optional JSONL event sink
+    seed: int = 0
+
+
+@dataclass
+class SwapReport:
+    """What one hot swap did (returned by ``POST /swap`` too)."""
+
+    version: int                 # catalogue index version now serving
+    kind: str                    # "full" | "catalog" | "skipped"
+    steps: int                   # fine-tune steps folded into this swap
+    new_items: int               # cold items first served by this swap
+    reencoded_items: int         # catalogue rows actually re-encoded
+    latency_ms: float            # publish latency (encode + fit + flip)
+    checkpoint: str | None = None
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Counters:
+    """Monotonic ingest/train/swap counters (one lock-free snapshot each)."""
+
+    interactions: int = 0
+    cold_items: int = 0
+    new_users: int = 0
+    steps: int = 0
+    swaps: int = 0
+    last_loss: float = float("nan")
+    # Bounded: a long-lived server swapping for weeks must not grow this
+    # (or the /stats percentile pass) without limit.
+    swap_latencies_ms: deque = field(
+        default_factory=lambda: deque(maxlen=4096))
+    round_errors: int = 0
+    last_error: str | None = None
+
+
+class FineTuneWorker:
+    """Online learner + hot-swapper for one serving scenario."""
+
+    def __init__(self, service, key: tuple[str, str],
+                 config: StreamConfig | None = None, start: bool = True):
+        self.service = service
+        self.registry = service.registry
+        self.key = key
+        self.config = config or StreamConfig()
+        scenario = self.registry.get(*key)
+        self.spec = scenario.spec
+        # The model must be trainable to fine-tune online; heuristic
+        # baselines (popularity, markov) simply can't stream.
+        if not hasattr(scenario.model, "training_loss") \
+                or not hasattr(scenario.model, "state_dict"):
+            raise TypeError(
+                f"model {self.spec.model!r} does not support incremental "
+                "training; streaming needs the training_loss protocol")
+        # Cold items need a model that encodes items from modality
+        # features. ID-embedding baselines are sized to the catalogue at
+        # construction — exactly the limitation the paper's modality-only
+        # design removes — so they serve the event stream but reject
+        # cold-item events.
+        self.supports_cold_items = bool(
+            getattr(scenario.model, "supports_cold_items",
+                    hasattr(scenario.model, "encode_items")))
+
+        self.data = GrowableDataset.from_base(scenario.dataset)
+        self.log = EventLog(tail_size=self.config.log_tail,
+                            path=self.config.log_path)
+        self.replay = ReplayBuffer(capacity=self.config.buffer_capacity)
+
+        # The shadow: same architecture, same weights, own optimizer.
+        dtype = scenario.model.param_dtype
+        self.shadow = build_model(self.spec.model, self.data,
+                                  seed=self.spec.seed)
+        self.shadow.to_dtype(dtype)
+        self.shadow.load_state_dict(scenario.model.state_dict())
+        self.trainer = Trainer(
+            self.shadow, self.data,
+            TrainConfig(batch_size=self.config.batch_size,
+                        lr=self.config.lr,
+                        clip_norm=self.config.clip_norm,
+                        max_seq_len=self.config.max_seq_len,
+                        seed=self.config.seed),
+            pretraining=False)
+
+        self.counters = _Counters()
+        self._published_items = scenario.dataset.num_items
+        self._started = time.time()
+        self._last_swap_time = self._started
+        self._events_since_round = 0
+        self._events_at_last_swap = 0
+        self._steps_since_swap = 0
+        self._rng = np.random.default_rng(self.config.seed)
+        self._ingest_lock = threading.Lock()
+        self._work_lock = threading.RLock()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if start:
+            self._thread = threading.Thread(
+                target=self._loop,
+                name=f"repro-stream-{key[0]}:{key[1]}", daemon=True)
+            self._thread.start()
+
+    # -- ingestion (request threads) -----------------------------------------
+
+    def _validate(self, events: list) -> None:
+        """Reject a batch atomically before applying any of it.
+
+        Simulates the batch: cold items raise when the model cannot host
+        them or their modality payload is malformed (token ids outside
+        the vocabulary, wrong image shape — which would otherwise only
+        blow up later, inside the fine-tune thread or the swap encode);
+        interaction ids must fall inside the catalogue as it will exist
+        *at that point of the batch* (an interaction may reference a
+        cold item registered earlier in the same batch).
+        """
+        items = self.data.num_items
+        users = len(self.data.sequences)
+        vocab = text_vocab_size()
+        image_shape = self.data.images.shape[1:]
+        for position, event in enumerate(events):
+            if isinstance(event, ColdItemEvent):
+                if not self.supports_cold_items:
+                    raise ValueError(
+                        f"event[{position}]: model {self.spec.model!r} is "
+                        "ID-based and cannot host cold items; only "
+                        "modality-encoding models can")
+                tokens = np.asarray(event.text_tokens)
+                if tokens.size and (tokens.min() < 0
+                                    or tokens.max() >= vocab):
+                    raise ValueError(
+                        f"event[{position}]: text token ids must be in "
+                        f"[0, {vocab}); got "
+                        f"[{tokens.min()}, {tokens.max()}]")
+                if event.image is not None \
+                        and np.asarray(event.image).shape != image_shape:
+                    raise ValueError(
+                        f"event[{position}]: image shape "
+                        f"{np.asarray(event.image).shape} != catalogue "
+                        f"{image_shape}")
+                items += 1
+                if event.user is not None:
+                    users = self._check_user(position, event.user, users)
+            else:
+                if not 1 <= event.item <= items:
+                    raise ValueError(
+                        f"event[{position}]: item id {event.item} outside "
+                        f"catalogue [1, {items}]")
+                users = self._check_user(position, event.user, users)
+
+    @staticmethod
+    def _check_user(position: int, user: int, users: int) -> int:
+        if user == -1 or user == users:
+            return users + 1
+        if not 0 <= user < users:
+            raise ValueError(f"event[{position}]: user id {user} outside "
+                             f"[0, {users}] (use -1 for a new user)")
+        return users
+
+    def ingest(self, events: list) -> dict:
+        """Apply a batch of parsed events; returns an ingestion receipt.
+
+        Atomic per batch: the whole list is validated first, then applied
+        under the ingestion lock. Cold items are registered synchronously
+        (their assigned ids are in the receipt, so a client can reference
+        them in follow-up events immediately); learning from them happens
+        asynchronously in the worker; *serving* them begins at the next
+        hot swap.
+        """
+        with self._ingest_lock:
+            if self._closed:
+                raise RuntimeError("stream worker is closed")
+            self._validate(events)
+            cold_ids = []
+            interactions = cold = new_users = 0
+            for event in events:
+                if isinstance(event, ColdItemEvent):
+                    item = self.data.add_item(event.text_tokens,
+                                              image=event.image,
+                                              topic=event.topic)
+                    cold_ids.append(item)
+                    cold += 1
+                    if event.user is not None:
+                        new_users += self._apply_click(event.user, item)
+                        interactions += 1
+                else:
+                    new_users += self._apply_click(event.user, event.item)
+                    interactions += 1
+            self.log.extend(events)
+            self.counters.interactions += interactions
+            self.counters.cold_items += cold
+            self.counters.new_users += new_users
+            receipt = {"accepted": len(events),
+                       "interactions": interactions,
+                       "cold_items": cold,
+                       "cold_item_ids": cold_ids,
+                       "new_users": new_users,
+                       "events_total": self.log.total,
+                       "buffer_size": len(self.replay)}
+        with self._cond:
+            self._events_since_round += len(events)
+            self._cond.notify_all()
+        return receipt
+
+    def _apply_click(self, user: int | None, item: int) -> int:
+        """Apply one interaction; returns 1 when it created a new user."""
+        fresh = user is None or user == -1 \
+            or user == len(self.data.sequences)
+        history = self.data.add_interaction(user, item)
+        if history.size >= 2:
+            # A single-click history has no next-item transition to learn
+            # from; the user enters the replay window on their 2nd click.
+            self.replay.push(history[-self.config.max_seq_len:])
+        return int(fresh)
+
+    # -- the background loop (worker thread) ---------------------------------
+
+    def _loop(self) -> None:
+        # Same size-or-timeout trigger as the request micro-batcher: a
+        # round starts when enough events queued *or* the oldest pending
+        # event has waited round_timeout_s (a trickle still gets
+        # learned). With nothing pending the wait is untimed — ingest()
+        # and close() notify — so an idle worker never spins the
+        # scheduler.
+        while True:
+            with self._cond:
+                deadline = None
+                while not self._closed:
+                    pending = self._events_since_round
+                    if pending >= self.config.min_events_per_round:
+                        break
+                    if pending > 0:
+                        now = time.monotonic()
+                        if deadline is None:
+                            deadline = now + self.config.round_timeout_s
+                        if now >= deadline:
+                            break
+                        self._cond.wait(timeout=deadline - now)
+                    else:
+                        deadline = None
+                        self._cond.wait()
+                if self._closed:
+                    return
+                self._events_since_round = 0
+            # The learner thread must survive a bad round (a transient
+            # encode failure, a poisoned batch): serving continues on the
+            # last published generation either way, so record the error
+            # where /stats surfaces it and keep draining events — a dead
+            # silent thread would masquerade as "no traffic" while
+            # staleness grew unbounded.
+            try:
+                self._round()
+            except Exception as exc:  # noqa: BLE001 - surfaced via stats
+                self.counters.round_errors += 1
+                self.counters.last_error = f"{type(exc).__name__}: {exc}"
+                time.sleep(0.1)      # don't spin if the failure persists
+
+    def _round(self) -> None:
+        """Up to ``steps_per_swap`` incremental steps, then a hot swap."""
+        with self._work_lock:
+            for _ in range(self.config.steps_per_swap):
+                if not self._train_one_step():
+                    break
+            self._swap_locked()
+
+    def _train_one_step(self) -> bool:
+        histories = self.replay.sample(self._rng, self.config.batch_size)
+        if not histories:
+            return False
+        batch = pad_sequences(histories, max_len=self.config.max_seq_len)
+        loss = self.trainer.train_step(batch.item_ids, batch.mask)
+        self.counters.steps += 1
+        self.counters.last_loss = loss
+        self._steps_since_swap += 1
+        return True
+
+    # -- hot swap ------------------------------------------------------------
+
+    def run_steps(self, steps: int) -> int:
+        """Synchronously run up to ``steps`` fine-tune steps (tests/CLI)."""
+        with self._work_lock:
+            done = 0
+            for _ in range(steps):
+                if not self._train_one_step():
+                    break
+                done += 1
+            return done
+
+    def swap(self) -> SwapReport:
+        """Publish the current shadow weights + catalogue; blocks training.
+
+        Safe to call from any thread (serialized with the training loop
+        on the work lock). No-ops with ``kind="skipped"`` when there is
+        nothing to publish — no steps taken and no new items.
+        """
+        with self._work_lock:
+            return self._swap_locked()
+
+    def _swap_locked(self) -> SwapReport:
+        start = time.perf_counter()
+        with self._ingest_lock:
+            snapshot = self.data.snapshot()
+            new_ids = self.data.new_item_ids(self._published_items)
+            events_total = self.log.total
+        steps = self._steps_since_swap
+        old = self.registry.get(*self.key)
+        if steps == 0 and new_ids.size == 0:
+            return SwapReport(version=old.recommender.index_version,
+                              kind="skipped", steps=0, new_items=0,
+                              reencoded_items=0, latency_ms=0.0)
+        registry = self.registry
+        checkpoint = None
+        if steps == 0:
+            # Catalogue growth without a weight change: every existing
+            # row of the serving index is still exact, so share the
+            # serving model and re-encode only the new items.
+            kind, model = "catalog", old.model
+        else:
+            kind = "full"
+            model = build_model(self.spec.model, snapshot,
+                                seed=self.spec.seed)
+            model.to_dtype(self.shadow.param_dtype)
+            model.load_state_dict(self.shadow.state_dict())
+            checkpoint = self._save_checkpoint(steps)
+        index = CatalogIndex(model, snapshot, dtype=registry.dtype,
+                             start_version=old.recommender.index_version)
+        if kind == "catalog" and old.recommender.index is not None \
+                and not old.recommender.index.stale:
+            base_matrix = old.recommender.index.snapshot()[0]
+            index.publish_partial(base_matrix, new_ids)
+            reencoded = int(new_ids.size)
+        else:
+            index.refresh()
+            reencoded = snapshot.num_items
+        recommender = registry.build_recommender(model, snapshot,
+                                                 index=index)
+        scenario = Scenario(spec=self.spec, dataset=snapshot, model=model,
+                            recommender=recommender)
+        registry.publish(scenario)
+        self.service.retire_batcher(self.key)
+        latency_ms = (time.perf_counter() - start) * 1e3
+        self._published_items = snapshot.num_items
+        self._steps_since_swap = 0
+        self._events_at_last_swap = events_total
+        self._last_swap_time = time.time()
+        self.counters.swaps += 1
+        self.counters.swap_latencies_ms.append(latency_ms)
+        return SwapReport(version=index.version, kind=kind, steps=steps,
+                          new_items=int(new_ids.size),
+                          reencoded_items=reencoded,
+                          latency_ms=latency_ms, checkpoint=checkpoint)
+
+    def _save_checkpoint(self, steps: int) -> str | None:
+        directory = self.config.checkpoint_dir
+        if not directory:
+            return None
+        from ..nn.serialization import save_checkpoint
+        version = self.counters.swaps + 1
+        path = os.path.join(
+            directory,
+            f"{self.spec.dataset}-{self.spec.model}-v{version}.npz")
+        save_checkpoint(self.shadow, path,
+                        meta={"swap_version": version,
+                              "fine_tune_steps": self.counters.steps,
+                              "steps_in_swap": steps,
+                              "scenario": f"{self.key[0]}:{self.key[1]}"})
+        return path
+
+    # -- introspection -------------------------------------------------------
+
+    def stats_json(self) -> dict:
+        """Drift/lag counters for ``/stats`` and ``repro stream``."""
+        counters = self.counters
+        latencies = list(counters.swap_latencies_ms)
+        now = time.time()
+        out = {"events_total": self.log.total,
+               "interactions": counters.interactions,
+               "cold_items": counters.cold_items,
+               "new_users": counters.new_users,
+               "buffer_size": len(self.replay),
+               "buffer_pushed": self.replay.pushed,
+               "steps": counters.steps,
+               "steps_since_swap": self._steps_since_swap,
+               "last_loss": counters.last_loss,
+               "swaps": counters.swaps,
+               "round_errors": counters.round_errors,
+               "last_error": counters.last_error,
+               "events_since_swap": self.log.total
+               - self._events_at_last_swap,
+               "staleness_s": now - self._last_swap_time,
+               "published_items": self._published_items,
+               "catalogue_items": self.data.num_items,
+               "supports_cold_items": self.supports_cold_items,
+               "index_version":
+               self.registry.get(*self.key).recommender.index_version}
+        if latencies:
+            arr = np.asarray(latencies)
+            out["swap_p50_ms"] = float(np.percentile(arr, 50))
+            out["swap_p99_ms"] = float(np.percentile(arr, 99))
+            out["swap_last_ms"] = float(arr[-1])
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the background thread; pending events stay unlearned."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self.log.close()
+
+    def __enter__(self) -> "FineTuneWorker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

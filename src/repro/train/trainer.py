@@ -98,25 +98,40 @@ class Trainer:
             return contextlib.nullcontext()
         return nn.use_fused(self.config.fused)
 
+    def train_step(self, item_ids: np.ndarray, mask: np.ndarray) -> float:
+        """One optimizer step on an already-padded batch; returns the loss.
+
+        The incremental entry point the streaming subsystem drives: the
+        background fine-tune worker feeds replayed interaction batches
+        through this method between hot swaps, so online updates use the
+        exact optimizer/clipping/schedule path as offline epochs. The
+        model is flipped to train mode only when needed, so steady
+        stream-of-steps callers never pay the recursive mode walk.
+        """
+        cfg = self.config
+        if not getattr(self.model, "training", True):
+            self.model.train()
+        with self._fusion_scope():
+            self.optimizer.zero_grad()
+            loss, _ = self.model.training_loss(
+                self.dataset, item_ids, mask,
+                pretraining=self.pretraining)
+            loss.backward()
+            nn.clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
+            self.optimizer.step()
+            if self.schedule is not None:
+                self.schedule.step()
+        return float(loss.data)
+
     def _run_epoch(self) -> float:
         cfg = self.config
         total, batches = 0.0, 0
         self.model.train()
-        with self._fusion_scope():
-            for batch in batch_iterator(self.dataset.split.train,
-                                        cfg.batch_size, self._rng,
-                                        max_len=cfg.max_seq_len):
-                self.optimizer.zero_grad()
-                loss, _ = self.model.training_loss(
-                    self.dataset, batch.item_ids, batch.mask,
-                    pretraining=self.pretraining)
-                loss.backward()
-                nn.clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
-                self.optimizer.step()
-                if self.schedule is not None:
-                    self.schedule.step()
-                total += float(loss.data)
-                batches += 1
+        for batch in batch_iterator(self.dataset.split.train,
+                                    cfg.batch_size, self._rng,
+                                    max_len=cfg.max_seq_len):
+            total += self.train_step(batch.item_ids, batch.mask)
+            batches += 1
         return total / max(batches, 1)
 
     def validate(self) -> dict[str, float]:

@@ -21,6 +21,61 @@ def _arrays(shape, low=-2.0, high=2.0):
                       elements=st.floats(low, high, allow_nan=False))
 
 
+def test_no_grad_is_thread_local():
+    """A thread inside no_grad must not disable other threads' graphs.
+
+    This is load-bearing for repro.stream: serving threads score under
+    no_grad while the fine-tune worker builds training graphs
+    concurrently. With a process-global gate the worker's backward would
+    randomly see no graph at all.
+    """
+    import threading
+    entered = threading.Event()
+    release = threading.Event()
+
+    def server():
+        with nn.no_grad():
+            entered.set()
+            release.wait(timeout=30)
+
+    thread = threading.Thread(target=server, daemon=True)
+    thread.start()
+    assert entered.wait(timeout=30)
+    try:
+        # The other thread is parked inside its inference block right
+        # now; this thread's graph construction must be unaffected.
+        assert nn.is_grad_enabled()
+        w = Tensor(np.ones((3, 3)), requires_grad=True)
+        out = (w @ w).sum()
+        assert out.requires_grad
+        out.backward()
+        assert w.grad is not None
+    finally:
+        release.set()
+        thread.join(timeout=30)
+
+
+def test_use_fused_is_thread_local():
+    import threading
+    entered = threading.Event()
+    release = threading.Event()
+    ambient = nn.fusion_enabled()
+
+    def pinner():
+        with nn.use_fused(not ambient):
+            entered.set()
+            release.wait(timeout=30)
+
+    thread = threading.Thread(target=pinner, daemon=True)
+    thread.start()
+    assert entered.wait(timeout=30)
+    try:
+        assert nn.fusion_enabled() == ambient
+    finally:
+        release.set()
+        thread.join(timeout=30)
+
+
 @pytest.mark.parametrize("shape", SHAPES)
 def test_add_grad(shape, rng):
     x = rng.normal(size=shape)

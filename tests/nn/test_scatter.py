@@ -1,0 +1,89 @@
+"""Scatter-free embedding backward: sort+reduceat vs np.add.at and FD.
+
+The embedding gradient used to be the engine's last ``np.add.at`` hot
+spot; it is now accumulated by sorting the indices and summing runs with
+one ``np.add.reduceat`` (see ``repro.nn.tensor.scatter_add_rows``).
+These tests pin (a) exact parity with the ``np.add.at`` oracle across
+repeated/negative/empty index patterns, (b) finite-difference
+correctness through ``ops.embedding`` and ``Tensor.__getitem__``, and
+(c) that non-row-gather keys still take the general fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.ops import embedding
+from repro.nn.tensor import Tensor, scatter_add_rows
+
+from ..conftest import check_grad
+
+
+@pytest.mark.parametrize("num_rows,num_draws,dim", [
+    (10, 50, 4),     # heavy repeats: every row hit ~5x
+    (5, 1, 3),       # single draw
+    (7, 200, 1),     # width-1 rows
+    (64, 3, 8),      # mostly-unique indices
+])
+def test_scatter_add_rows_matches_add_at(num_rows, num_draws, dim, rng):
+    indices = rng.integers(-num_rows, num_rows, size=num_draws)
+    rows = rng.normal(size=(num_draws, dim))
+    oracle = np.zeros((num_rows, dim))
+    np.add.at(oracle, indices, rows)
+    ours = scatter_add_rows(np.zeros((num_rows, dim)), indices, rows)
+    np.testing.assert_allclose(ours, oracle, atol=1e-12)
+
+
+def test_scatter_add_rows_empty_and_accumulating(rng):
+    out = rng.normal(size=(4, 3))
+    before = out.copy()
+    scatter_add_rows(out, np.array([], dtype=np.int64), np.zeros((0, 3)))
+    np.testing.assert_array_equal(out, before)
+    # Accumulates on top of existing content, like np.add.at.
+    scatter_add_rows(out, np.array([2, 2]), np.ones((2, 3)))
+    np.testing.assert_allclose(out[2], before[2] + 2.0)
+
+
+def test_embedding_grad_fd_with_repeats(rng):
+    indices = rng.integers(0, 6, size=(3, 7))       # many repeated ids
+    weight0 = rng.normal(size=(6, 4))
+    check_grad(lambda w: (embedding(w, indices) ** 2.0).sum(), weight0)
+
+
+def test_getitem_int_array_grad_fd(rng):
+    x0 = rng.normal(size=(8, 3))
+    key_1d = rng.integers(0, 8, size=11)
+    key_2d = rng.integers(0, 8, size=(4, 5))
+    key_neg = np.array([-1, 2, -1, -8, 5])
+    for key in (key_1d, key_2d, key_neg):
+        check_grad(lambda t, k=key: (t[k] ** 2.0).sum(), x0)
+
+
+def test_getitem_int_array_grad_on_1d_tensor(rng):
+    x0 = rng.normal(size=(9,))
+    key = rng.integers(0, 9, size=13)
+    check_grad(lambda t: (t[key] ** 2.0).sum(), x0)
+
+
+def test_getitem_fallback_keys_still_correct(rng):
+    x0 = rng.normal(size=(5, 4))
+    mask = rng.random(5) > 0.4
+    check_grad(lambda t: (t[mask] ** 2.0).sum(), x0)        # bool mask
+    check_grad(lambda t: (t[1:4] ** 2.0).sum(), x0)          # slice
+    check_grad(lambda t: (t[2, 1:] ** 2.0).sum(), x0)        # tuple
+    rows = np.array([0, 0, 3])
+    cols = np.array([1, 1, 2])
+    check_grad(lambda t: (t[rows, cols] ** 2.0).sum(), x0)   # paired fancy
+
+
+def test_embedding_grad_bitwise_matches_add_at_float64(rng):
+    """In float64 the run-summed gradient equals the oracle to ~1 ulp."""
+    weight = Tensor(rng.normal(size=(12, 5)), requires_grad=True)
+    indices = rng.integers(0, 12, size=(6, 9))
+    out = embedding(weight, indices)
+    upstream = rng.normal(size=out.shape)
+    out.backward(upstream)
+    oracle = np.zeros((12, 5))
+    np.add.at(oracle, indices.reshape(-1), upstream.reshape(-1, 5))
+    np.testing.assert_allclose(weight.grad, oracle, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,44 @@
+"""Fixtures for the streaming-subsystem tests (smoke-scale).
+
+Workers are created with ``start=False``: tests drive fine-tune rounds
+and swaps synchronously (``run_steps`` / ``swap``) so assertions about
+versions and generations are deterministic. The background thread and
+its triggers are exercised by the stress test and ``bench_stream``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ModelRegistry, RecommendationService
+from repro.stream import StreamConfig, StreamManager
+
+
+def make_service(spec: str = "kwai_food:pmmrec-text",
+                 **registry_kwargs) -> RecommendationService:
+    registry = ModelRegistry(profile="smoke", dtype="float32",
+                             **registry_kwargs)
+    registry.add(spec, seed=0)
+    return RecommendationService(registry)
+
+
+@pytest.fixture()
+def service():
+    svc = make_service()
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def manager(service):
+    mgr = StreamManager(service,
+                        StreamConfig(batch_size=4, steps_per_swap=2,
+                                     min_events_per_round=4, seed=0),
+                        start=False)
+    service.attach_stream(mgr)
+    return mgr
+
+
+@pytest.fixture()
+def worker(manager):
+    return manager.worker("kwai_food", "pmmrec-text")

@@ -1,0 +1,79 @@
+"""Event schema parsing, the append-only log and the replay buffer."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.stream import (ColdItemEvent, EventLog, InteractionEvent,
+                          ReplayBuffer, parse_event, parse_events)
+
+
+def test_parse_interaction_event():
+    event = parse_event({"user": 3, "item": 17})
+    assert event == InteractionEvent(user=3, item=17)
+    assert event.to_json() == {"user": 3, "item": 17}
+
+
+def test_parse_cold_item_event_with_and_without_user():
+    bare = parse_event({"item": {"text_tokens": [4, 5], "topic": 2}})
+    assert isinstance(bare, ColdItemEvent)
+    assert bare.user is None and bare.topic == 2
+    np.testing.assert_array_equal(bare.text_tokens, [4, 5])
+    clicked = parse_event({"user": 7,
+                           "item": {"text_tokens": [1],
+                                    "image": np.zeros((2, 2, 3)).tolist()}})
+    assert clicked.user == 7 and clicked.image.shape == (2, 2, 3)
+    assert clicked.topic == -1
+
+
+@pytest.mark.parametrize("payload,match", [
+    ({"user": 1}, "needs an 'item'"),
+    ({"item": 4}, "needs a 'user'"),
+    ({"item": {"topic": 1}}, "text_tokens"),
+    ({"item": {"text_tokens": []}}, "text_tokens"),
+    ("not-a-dict", "JSON object"),
+])
+def test_parse_rejects_malformed(payload, match):
+    with pytest.raises(ValueError, match=match):
+        parse_event(payload)
+
+
+def test_parse_events_reports_position():
+    with pytest.raises(ValueError, match=r"event\[1\]"):
+        parse_events([{"user": 0, "item": 1}, {"user": 0}])
+
+
+def test_event_log_counts_and_tail(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(tail_size=3, path=path)
+    for item in range(5):
+        seqno = log.append(InteractionEvent(user=0, item=item + 1))
+        assert seqno == item
+    assert log.total == 5
+    tail = log.tail(10)
+    assert [r.seqno for r in tail] == [2, 3, 4]     # bounded memory
+    log.close()
+    lines = [json.loads(line) for line in open(path)]
+    assert len(lines) == 5                            # durable sink has all
+    assert lines[0] == {"seqno": 0, "user": 0, "item": 1}
+
+
+def test_replay_buffer_bounds_and_sampling(rng):
+    buffer = ReplayBuffer(capacity=4)
+    assert buffer.sample(rng, 8) == []
+    for item in range(6):
+        buffer.push(np.array([item, item + 1]))
+    assert len(buffer) == 4 and buffer.pushed == 6
+    sample = buffer.sample(rng, 16)
+    assert len(sample) == 16                          # with replacement
+    # FIFO eviction: the two oldest entries are gone.
+    firsts = {int(h[0]) for h in sample}
+    assert firsts <= {2, 3, 4, 5}
+
+
+def test_replay_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        ReplayBuffer(capacity=0)

@@ -1,0 +1,94 @@
+"""Copy-on-write catalogue growth and snapshot immutability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.stream import GrowableDataset
+
+
+@pytest.fixture()
+def base():
+    return build_dataset("kwai_food", profile="smoke")
+
+
+def test_from_base_shares_arrays_until_growth(base):
+    grown = GrowableDataset.from_base(base)
+    assert grown.text_tokens is base.text_tokens     # no copy up front
+    assert grown.num_items == base.num_items
+    grown.add_item(np.array([5, 6, 7]))
+    assert grown.text_tokens is not base.text_tokens
+    # The base dataset (shared via the build cache) is never mutated.
+    assert base.text_tokens.shape[0] == base.num_items + 1
+    assert grown.num_items == base.num_items + 1
+
+
+def test_add_item_assigns_sequential_ids_and_features(base):
+    grown = GrowableDataset.from_base(base)
+    image = np.full(base.images.shape[1:], 0.5)
+    first = grown.add_item(np.array([3, 4]), image=image, topic=1)
+    second = grown.add_item(np.array([9] * 50))       # over-long: truncated
+    assert (first, second) == (base.num_items + 1, base.num_items + 2)
+    np.testing.assert_array_equal(grown.text_tokens[first, :2], [3, 4])
+    np.testing.assert_array_equal(grown.images[first], image)
+    assert grown.item_topics[first] == 1
+    assert grown.text_tokens[second].shape == (base.text_tokens.shape[1],)
+    np.testing.assert_array_equal(grown.images[second], 0.0)  # text-only
+    assert grown.item_topics[second] == -1
+
+
+def test_add_item_rejects_wrong_image_shape(base):
+    grown = GrowableDataset.from_base(base)
+    with pytest.raises(ValueError, match="image shape"):
+        grown.add_item(np.array([1]), image=np.zeros((2, 2, 3)))
+
+
+def test_add_interaction_existing_new_and_invalid_users(base):
+    grown = GrowableDataset.from_base(base)
+    users_before = grown.num_users
+    old_history = base.sequences[0]
+    updated = grown.add_interaction(0, 1)
+    np.testing.assert_array_equal(updated[:-1], old_history)
+    assert updated[-1] == 1
+    # The base dataset's sequence array is untouched (new array per append).
+    np.testing.assert_array_equal(base.sequences[0], old_history)
+    fresh = grown.add_interaction(-1, 2)
+    np.testing.assert_array_equal(fresh, [2])
+    assert grown.num_users == users_before + 1
+    # user == current count also starts a new user (idempotent contract).
+    grown.add_interaction(grown.num_users, 3)
+    assert grown.num_users == users_before + 2
+    with pytest.raises(ValueError, match="user id"):
+        grown.add_interaction(10_000, 1)
+    with pytest.raises(ValueError, match="item id"):
+        grown.add_interaction(0, grown.num_items + 1)
+
+
+def test_snapshot_is_isolated_from_further_growth(base):
+    grown = GrowableDataset.from_base(base)
+    grown.add_item(np.array([2, 3]), topic=0)
+    snap = grown.snapshot()
+    items_at_snap = snap.num_items
+    users_at_snap = snap.num_users
+    seq0_at_snap = snap.sequences[0]
+    grown.add_item(np.array([4]))
+    grown.add_interaction(0, 1)
+    grown.add_interaction(-1, 2)
+    assert snap.num_items == items_at_snap
+    assert snap.num_users == users_at_snap
+    assert snap.text_tokens.shape[0] == items_at_snap + 1
+    np.testing.assert_array_equal(snap.sequences[0], seq0_at_snap)
+    # And the growable view moved on.
+    assert grown.num_items == items_at_snap + 1
+    assert grown.num_users == users_at_snap + 1
+
+
+def test_new_item_ids_window(base):
+    grown = GrowableDataset.from_base(base)
+    assert grown.new_item_ids(base.num_items).size == 0
+    a = grown.add_item(np.array([1]))
+    b = grown.add_item(np.array([2]))
+    np.testing.assert_array_equal(grown.new_item_ids(base.num_items), [a, b])
+    np.testing.assert_array_equal(grown.new_item_ids(a), [b])

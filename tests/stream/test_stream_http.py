@@ -1,0 +1,104 @@
+"""The streaming HTTP contract: /events, /swap, stream stats, errors."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import make_server
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.load(response)
+
+
+@pytest.fixture()
+def server(service, manager):
+    server = make_server(service, port=0)
+    server.start_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def test_events_swap_recommend_stats_roundtrip(server, service, worker):
+    url = server.url
+    dataset = service.registry.get("kwai_food", "pmmrec-text").dataset
+    history = [int(i) for i in dataset.split.test[0].history]
+    before = _post(url + "/recommend",
+                   {"dataset": "kwai_food", "model": "pmmrec-text",
+                    "history": history, "k": 5})
+
+    events = [{"user": 0, "item": int(dataset.sequences[0][0])},
+              {"user": 1, "item": int(dataset.sequences[1][0])},
+              {"item": {"text_tokens": [5, 6, 7], "topic": 0}}]
+    receipt = _post(url + "/events",
+                    {"dataset": "kwai_food", "model": "pmmrec-text",
+                     "events": events})
+    assert receipt["accepted"] == 3
+    cold_id = receipt["cold_item_ids"][0]
+
+    worker.run_steps(2)
+    swap = _post(url + "/swap",
+                 {"dataset": "kwai_food", "model": "pmmrec-text"})
+    assert swap["kind"] == "full"
+    assert swap["version"] == before["index_version"] + 1
+
+    after = _post(url + "/recommend",
+                  {"dataset": "kwai_food", "model": "pmmrec-text",
+                   "history": history + [cold_id], "k": 5})
+    assert after["index_version"] == swap["version"]
+    assert after["items"]
+
+    stats = _get(url + "/stats")
+    stream = stats["stream"]["kwai_food:pmmrec-text"]
+    assert stream["swaps"] == 1
+    assert stream["steps"] == 2
+    assert stream["events_total"] == 3
+    assert stream["index_version"] == swap["version"]
+
+
+@pytest.mark.parametrize("payload,status,match", [
+    ({"dataset": "kwai_food", "model": "pmmrec-text", "events": []},
+     400, "non-empty"),
+    ({"dataset": "kwai_food", "model": "pmmrec-text",
+      "events": [{"user": 0}]}, 400, "item"),
+    ({"dataset": "nope", "model": "pmmrec-text",
+      "events": [{"user": 0, "item": 1}]}, 404, "no streaming scenario"),
+])
+def test_events_error_codes(server, manager, payload, status, match):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server.url + "/events", payload)
+    assert excinfo.value.code == status
+    body = json.load(excinfo.value)
+    assert match in body["error"]
+
+
+def test_events_without_stream_manager_is_400(service):
+    # A plain serving service (no manager attached) refuses ingestion
+    # with a actionable message instead of crashing.
+    service.stream = None
+    server = make_server(service, port=0)
+    server.start_background()
+    try:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/events",
+                  {"dataset": "kwai_food", "model": "pmmrec-text",
+                   "events": [{"user": 0, "item": 1}]})
+        assert excinfo.value.code == 400
+        assert "not enabled" in json.load(excinfo.value)["error"]
+    finally:
+        server.shutdown()
+        server.server_close()
