@@ -22,6 +22,8 @@ A fast smoke-scale case keeps the whole loop exercised on every push.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.stream import bench_stream, render_stream_report
@@ -29,6 +31,8 @@ from repro.stream import bench_stream, render_stream_report
 from .conftest import emit
 
 K = 10
+
+_skip_perf_assert = os.environ.get("REPRO_SKIP_PERF_ASSERT") == "1"
 
 
 def _assert_core_guarantees(report: dict) -> None:
@@ -41,6 +45,15 @@ def _assert_core_guarantees(report: dict) -> None:
     assert report["stream"]["swaps"] >= 1
     assert "swap_p99_ms" in report["stream"]
     assert report["final_version"] > report["initial_version"]
+    # Every published weight update went through the eval gate, and the
+    # rejection/acceptance accounting is part of the recorded report.
+    gate = report["gate"]
+    assert gate["enabled"] is True
+    assert gate["eval_examples"] > 0
+    assert gate["evals"] >= 1 and gate["published"] >= 1
+    # Every gate eval ends as an accepted publication or a rejection
+    # (published additionally counts ungated catalogue-only swaps).
+    assert gate["evals"] <= gate["published"] + gate["rejected"]
     # Every injected cold item is part of the served catalogue now...
     assert report["catalogue_items_final"] > 0
     assert len(report["cold_item_ranks"]) == len(report["cold_item_ids"])
@@ -68,6 +81,10 @@ def test_stream_bench_paper_scale(benchmark):
     # Post-swap approximate retrieval stays faithful on the grown index.
     assert report["ann_recall_at_k"] is not None
     assert report["ann_recall_at_k"] >= 0.95
+    # The gate's eval cost rides inside the swap path: p99 must stay
+    # under 2x the ungated PR-5 baseline (~370ms on this profile).
+    if not _skip_perf_assert:
+        assert report["stream"]["swap_p99_ms"] < 740.0
 
 
 def test_stream_bench_smoke_scale():

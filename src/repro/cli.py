@@ -126,6 +126,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a versioned checkpoint per full swap")
     stream.add_argument("--event-log", default=None,
                         help="append accepted events to this JSONL file")
+    stream.add_argument("--no-eval-gate", action="store_true",
+                        help="publish swaps ungated (PR-5 behavior)")
+    stream.add_argument("--gate-tolerance", type=float, default=0.1,
+                        help="allowed held-out HR@10/NDCG@10 drop before "
+                             "a swap is rejected")
+    stream.add_argument("--eval-set-size", type=int, default=64,
+                        help="validation examples frozen for the gate "
+                             "at startup")
+    stream.add_argument("--eval-holdout-frac", type=float, default=0.1,
+                        help="probability an ingested event is held out "
+                             "of training for gate evaluation")
+    stream.add_argument("--replay-bias", type=float, default=0.0,
+                        help="priority exponent for replay sampling "
+                             "(0 = uniform)")
+    stream.add_argument("--shadow-mode", action="store_true",
+                        help="never publish weight updates; log candidate "
+                             "ranks to --shadow-log instead")
+    stream.add_argument("--shadow-log", default=None,
+                        help="JSONL file for shadow-mode rank diffs")
     stream.add_argument("--smoke", action="store_true",
                         help="in-process: ingest events over HTTP, "
                              "fine-tune, hot-swap, verify, exit (CI)")
@@ -148,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_stream.add_argument("--steps-per-swap", type=int, default=4)
     bench_stream.add_argument("--stream-batch-size", type=int, default=8)
     bench_stream.add_argument("--stream-lr", type=float, default=5e-4)
+    bench_stream.add_argument("--no-eval-gate", action="store_true",
+                              help="benchmark ungated swaps (PR-5 "
+                                   "behavior)")
+    bench_stream.add_argument("--gate-tolerance", type=float, default=0.1)
+    bench_stream.add_argument("--replay-bias", type=float, default=0.5)
+    bench_stream.add_argument("--poison-events", type=int, default=0,
+                              help="inject this many poisoned events "
+                                   "mid-run to exercise the gate")
     bench_stream.add_argument("--seed", type=int, default=0)
     _add_retrieval_args(bench_stream)
 
@@ -356,7 +383,15 @@ def _stream_config(args):
                         min_events_per_round=args.min_events,
                         buffer_capacity=args.buffer_size,
                         checkpoint_dir=args.checkpoint_dir,
-                        log_path=args.event_log, seed=args.seed)
+                        log_path=args.event_log,
+                        eval_gate=not args.no_eval_gate,
+                        gate_tolerance=args.gate_tolerance,
+                        eval_set_size=args.eval_set_size,
+                        eval_holdout_frac=args.eval_holdout_frac,
+                        replay_bias=args.replay_bias,
+                        shadow_mode=args.shadow_mode,
+                        shadow_log_path=args.shadow_log,
+                        seed=args.seed)
 
 
 def _cmd_stream(args) -> int:
@@ -401,6 +436,10 @@ def _cmd_bench_stream(args) -> int:
                        else args.ann_min_items),
         steps_per_swap=args.steps_per_swap,
         batch_size=args.stream_batch_size, lr=args.stream_lr,
+        eval_gate=not args.no_eval_gate,
+        gate_tolerance=args.gate_tolerance,
+        replay_bias=args.replay_bias,
+        poison_events=args.poison_events,
         seed=args.seed)
     print(render_stream_report(
         report, title=f"stream benchmark — {args.dataset}:{args.model} "

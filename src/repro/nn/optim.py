@@ -50,6 +50,19 @@ class _Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copy-out of the optimizer's mutable state (moments, counters).
+
+        Together with the module's ``state_dict`` this is everything a
+        caller needs to roll a training step sequence back — the
+        streaming worker snapshots both before every fine-tune round so
+        a failed round can never leave a half-applied update behind.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` (copy-in)."""
+
 
 class SGD(_Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -70,6 +83,13 @@ class SGD(_Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        for v, saved in zip(self._velocity, state["velocity"]):
+            np.copyto(v, saved)
 
 
 class Adam(_Optimizer):
@@ -127,6 +147,18 @@ class Adam(_Optimizer):
             s1 /= s2
             s1 *= self.lr
             p.data -= s1
+
+    def state_dict(self) -> dict:
+        return {"m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v],
+                "t": self._t}
+
+    def load_state_dict(self, state: dict) -> None:
+        for m, saved in zip(self._m, state["m"]):
+            np.copyto(m, saved)
+        for v, saved in zip(self._v, state["v"]):
+            np.copyto(v, saved)
+        self._t = int(state["t"])
 
 
 class AdamW(Adam):

@@ -28,13 +28,18 @@ Endpoint contract (all bodies JSON):
     (``{"version": int, "kind": "full"|"catalog", "latency_ms": ...}``)
 
 Errors come back as ``{"error": <message>}`` with status 400 (bad
-request), 404 (unknown route/scenario) or 500.
+request), 404 (unknown route/scenario) or 500; unexpected failures
+additionally carry ``"error_type"`` (the exception class) and the full
+traceback is logged server-side — the client gets a well-formed JSON
+500, never a hung connection or a silent swallow.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .service import RecommendationService
@@ -58,8 +63,26 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, message: str, status: int) -> None:
-        self._send({"error": message}, status=status)
+    def _error(self, message: str, status: int,
+               error_type: str | None = None) -> None:
+        body: dict = {"error": message}
+        if error_type is not None:
+            body["error_type"] = error_type
+        self._send(body, status=status)
+
+    def _internal_error(self, exc: Exception) -> None:
+        """Unexpected failure: JSON 500 with the class, traceback logged.
+
+        The traceback goes to stderr unconditionally (not through the
+        verbose-gated access log): a 500 is an operator event, and the
+        class name alone — which is all the client body carries — is not
+        enough to debug one.
+        """
+        sys.stderr.write(
+            f"unhandled {type(exc).__name__} serving {self.path}:\n"
+            f"{traceback.format_exc()}")
+        self._error(f"internal error: {exc}", 500,
+                    error_type=type(exc).__name__)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -81,15 +104,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         service = self.server.service
-        if self.path == "/health":
-            self._send({"status": "ok",
-                        "scenarios": len(service.registry)})
-        elif self.path == "/scenarios":
-            self._send(service.scenarios())
-        elif self.path == "/stats":
-            self._send(service.stats())
-        else:
-            self._error(f"unknown route {self.path!r}", 404)
+        try:
+            if self.path == "/health":
+                self._send({"status": "ok",
+                            "scenarios": len(service.registry)})
+            elif self.path == "/scenarios":
+                self._send(service.scenarios())
+            elif self.path == "/stats":
+                self._send(service.stats())
+            else:
+                self._error(f"unknown route {self.path!r}", 404)
+        except Exception as exc:  # noqa: BLE001 - boundary of the server
+            self._internal_error(exc)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         service = self.server.service
@@ -131,8 +157,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(str(exc.args[0]) if exc.args else str(exc), 404)
         except (ValueError, TypeError) as exc:
             self._error(str(exc), 400)
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(f"internal error: {exc}", 500)
+        except Exception as exc:  # noqa: BLE001 - boundary of the server
+            self._internal_error(exc)
 
 
 class RecommendationServer(ThreadingHTTPServer):

@@ -42,6 +42,7 @@ class RecommendationService:
         self.stream = None          # attached via attach_stream()
         self._batchers: dict[tuple[str, str], MicroBatcher] = {}
         self._lock = threading.Lock()
+        self._swap_race_retries = 0
         self._closed = False
 
     # -- internals -----------------------------------------------------------
@@ -89,6 +90,10 @@ class RecommendationService:
             except BatcherClosed:
                 if attempt == 4:  # pragma: no cover - would need 5 swaps
                     raise
+                # Observable on /stats: a spike means swaps are so
+                # frequent requests keep landing on retiring batchers.
+                with self._lock:
+                    self._swap_race_retries += 1
         payload = result.to_json()
         payload.update(dataset=dataset, model=model,
                        latency_ms=(time.perf_counter() - start) * 1e3)
@@ -153,7 +158,10 @@ class RecommendationService:
             counters["retrieval"] = \
                 batcher.recommender.describe_retrieval()
             per_scenario[f"{d}:{m}"] = counters
+        with self._lock:
+            swap_races = self._swap_race_retries
         payload = {"scenarios": per_scenario,
+                   "swap_race_retries": swap_races,
                    "settings": {"max_batch": self.max_batch,
                                 "max_wait_ms": self.max_wait_ms,
                                 "cache_size": self.cache_size,

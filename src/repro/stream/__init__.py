@@ -23,20 +23,21 @@ subsystem closes that loop against live traffic:
 See ``docs/streaming.md`` for the architecture and failure modes.
 """
 
-from .bench import (bench_stream, render_stream_report, run_stream_smoke,
-                    synthetic_cold_items, synthetic_interactions)
+from .bench import (bench_stream, poisoned_events, render_stream_report,
+                    run_stream_smoke, synthetic_cold_items,
+                    synthetic_interactions)
 from .dataset import GrowableDataset
 from .events import (ColdItemEvent, EventLog, InteractionEvent, ReplayBuffer,
-                     parse_event, parse_events)
+                     parse_event, parse_events, replay_events)
 from .manager import StreamManager
 from .worker import FineTuneWorker, StreamConfig, SwapReport
 
 __all__ = [
     "InteractionEvent", "ColdItemEvent", "parse_event", "parse_events",
-    "EventLog", "ReplayBuffer",
+    "EventLog", "ReplayBuffer", "replay_events",
     "GrowableDataset",
     "FineTuneWorker", "StreamConfig", "SwapReport",
     "StreamManager",
     "bench_stream", "render_stream_report", "run_stream_smoke",
-    "synthetic_interactions", "synthetic_cold_items",
+    "synthetic_interactions", "synthetic_cold_items", "poisoned_events",
 ]

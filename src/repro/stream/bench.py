@@ -29,14 +29,16 @@ import urllib.request
 import numpy as np
 
 from ..data import get_world, platform_for
-from ..data.catalog import _STYLE_TOKEN_TOTAL, MAX_TEXT_LEN, TEXT_OFFSET
+from ..data.catalog import (_STYLE_TOKEN_TOTAL, MAX_TEXT_LEN, TEXT_OFFSET,
+                            text_vocab_size)
 from ..serve import ModelRegistry, RecommendationService, Recommender
 from ..serve.bench import request_stream
 from .manager import StreamManager
 from .worker import StreamConfig
 
-__all__ = ["synthetic_interactions", "synthetic_cold_items", "bench_stream",
-           "render_stream_report", "run_stream_smoke"]
+__all__ = ["synthetic_interactions", "synthetic_cold_items",
+           "poisoned_events", "bench_stream", "render_stream_report",
+           "run_stream_smoke"]
 
 
 def synthetic_interactions(dataset, count: int,
@@ -95,6 +97,38 @@ def synthetic_cold_items(dataset, count: int, rng: np.random.Generator,
         events.append({"item": item})
         topics.append(topic)
     return events, np.asarray(topics, dtype=np.int64)
+
+
+def poisoned_events(dataset, count: int, rng: np.random.Generator,
+                    burst: int = 30, cold_frac: float = 0.1) -> list[dict]:
+    """``count`` wire-format events that are *valid but destructive*.
+
+    The stress input for the eval gate: per-user *bursts* of uniformly
+    random clicks plus a slice of cold items whose text is uniform token
+    noise — in-vocabulary, so ingestion validation accepts every event,
+    yet semantically garbage. The bursts matter: a single shuffled label
+    per user barely moves training (the replayed history window is still
+    dominated by the user's real prefix), but ``burst`` random clicks in
+    a row — sized to the replay window — leave that user's recent
+    histories with no next-item structure at all. A fine-tune round fed
+    this moves the shadow away from the data distribution, which is
+    exactly what the gate must catch before it reaches serving.
+    """
+    events: list[dict] = []
+    cold = int(count * cold_frac)
+    for _ in range(cold):
+        tokens = rng.integers(TEXT_OFFSET, text_vocab_size(),
+                              size=MAX_TEXT_LEN)
+        events.append({"item": {"text_tokens": [int(t) for t in tokens],
+                                "topic": -1},
+                       "user": int(rng.integers(0, dataset.num_users))})
+    while len(events) < count:
+        user = int(rng.integers(0, dataset.num_users))
+        for _ in range(min(burst, count - len(events))):
+            events.append({"user": user,
+                           "item": int(rng.integers(1,
+                                                    dataset.num_items + 1))})
+    return events
 
 
 def _topic_probe(dataset, topic: int, rng: np.random.Generator,
@@ -156,10 +190,19 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
                  ann_params: dict | None = None, min_ann_items: int = 1,
                  steps_per_swap: int = 4, batch_size: int = 8,
                  lr: float = 5e-4, recall_queries: int = 32,
+                 eval_gate: bool = True, gate_tolerance: float = 0.1,
+                 replay_bias: float = 0.5, poison_events: int = 0,
                  seed: int = 0) -> dict:
     """Serve continuously while ingesting, fine-tuning and hot-swapping.
 
-    Returns a JSON-ready report; render with :func:`render_stream_report`.
+    Every run is *gated* by default: candidate generations are scored on
+    the worker's held-out slice before publishing, and the report counts
+    gate evaluations, published swaps and rejections (the swap latency
+    percentiles therefore include the gate's eval cost — the overhead
+    the artifact tracks). ``poison_events > 0`` additionally injects one
+    wave of label-shuffled/garbage events mid-stream so a run can
+    exercise the rejection path. Returns a JSON-ready report; render
+    with :func:`render_stream_report`.
     """
     rng = np.random.default_rng(seed)
     registry = ModelRegistry(profile=profile, dtype="float32",
@@ -171,7 +214,9 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
     config = StreamConfig(batch_size=batch_size, lr=lr,
                           steps_per_swap=steps_per_swap,
                           min_events_per_round=event_batch,
-                          round_timeout_s=0.25, seed=seed)
+                          round_timeout_s=0.25, eval_gate=eval_gate,
+                          gate_tolerance=gate_tolerance,
+                          replay_bias=replay_bias, seed=seed)
     manager = StreamManager(service, config)
     service.attach_stream(manager)
     worker = manager.worker(dataset_name, model_name)
@@ -224,6 +269,8 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
         events += synthetic_interactions(
             scenario.dataset, max(event_batch // 4, 2), rng,
             item_pool=np.asarray(cold_ids))
+        if poison_events and wave == event_waves // 2:
+            events += poisoned_events(scenario.dataset, poison_events, rng)
         service.ingest_events(dataset_name, model_name, events)
         time.sleep(wave_gap)
     # Fold any remainder into one final generation so the measurements
@@ -271,6 +318,15 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
         "cold_in_top50": int(sum(r <= 50 for r in cold_ranks)),
         "catalogue_items_final": int(final.dataset.num_items),
         "ann_recall_at_k": recall,
+        "gate": {"enabled": eval_gate,
+                 "tolerance": gate_tolerance,
+                 "replay_bias": replay_bias,
+                 "poison_events": poison_events,
+                 "evals": int(stream_stats["gate_evals"]),
+                 "published": int(stream_stats["swaps"]),
+                 "rejected": int(stream_stats["swaps_rejected"]),
+                 "eval_examples": int(stream_stats["eval_examples"]),
+                 "last_rejection": stream_stats["last_rejection"]},
     }
     return report
 
@@ -309,6 +365,12 @@ def render_stream_report(report: dict,
         f"hot swaps           {stream['swaps']}  "
         f"p50 {stream.get('swap_p50_ms', float('nan')):.1f} ms  "
         f"p99 {stream.get('swap_p99_ms', float('nan')):.1f} ms",
+        f"eval gate           {report['gate']['evals']} evals, "
+        f"{report['gate']['published']} published, "
+        f"{report['gate']['rejected']} rejected "
+        f"(tol {report['gate']['tolerance']}, "
+        f"{report['gate']['eval_examples']} held-out examples, "
+        f"replay bias {report['gate']['replay_bias']})",
         f"index versions      v{report['initial_version']} -> "
         f"v{report['final_version']} "
         f"(served: {report['versions_served']})",
@@ -388,6 +450,11 @@ def run_stream_smoke(service: RecommendationService, manager: StreamManager,
     print(f"smoke swap: kind={swap['kind']} v{swap['version']} "
           f"({swap['latency_ms']:.1f} ms, "
           f"{swap['reencoded_items']} rows re-encoded)")
+    gate = swap.get("gate")
+    if gate:
+        print(f"smoke gate: {gate['reason']} on {gate['examples']} "
+              f"examples (deltas {gate['deltas']}, "
+              f"{gate['eval_ms']:.1f} ms)")
     if swap["version"] != version_before + 1:
         failures.append(f"swap version {swap['version']} != "
                         f"{version_before + 1}")

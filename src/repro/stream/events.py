@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["InteractionEvent", "ColdItemEvent", "parse_event",
-           "parse_events", "EventLog", "ReplayBuffer"]
+           "parse_events", "EventLog", "ReplayBuffer", "replay_events"]
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,11 @@ class ColdItemEvent:
         item: dict = {"text_tokens": [int(t) for t in self.text_tokens],
                       "topic": int(self.topic)}
         if self.image is not None:
-            item["image"] = np.asarray(self.image).tolist()
+            image = np.asarray(self.image)
+            # tolist() erases the dtype (every JSON number round-trips as
+            # float64); carry it so parse_event restores the exact array.
+            item["image"] = image.tolist()
+            item["image_dtype"] = str(image.dtype)
         out: dict = {"item": item}
         if self.user is not None:
             out["user"] = int(self.user)
@@ -84,9 +88,21 @@ def parse_event(payload: dict) -> InteractionEvent | ColdItemEvent:
         if not isinstance(tokens, (list, tuple)) or not tokens:
             raise ValueError("cold-item event needs non-empty 'text_tokens'")
         image = item.get("image")
+        if image is not None:
+            # Honor the wire dtype (float32 images must not silently come
+            # back as float64); absent → float64, the JSON number type.
+            try:
+                dtype = np.dtype(item.get("image_dtype", "float64"))
+            except TypeError as exc:
+                raise ValueError(
+                    f"bad cold-item image_dtype: {exc}") from exc
+            if dtype.kind != "f":
+                raise ValueError("cold-item image_dtype must be a float "
+                                 f"dtype, got {dtype}")
+            image = np.asarray(image, dtype=dtype)
         return ColdItemEvent(
             text_tokens=np.asarray(tokens, dtype=np.int64),
-            image=None if image is None else np.asarray(image, dtype=float),
+            image=image,
             topic=int(item.get("topic", -1)),
             user=None if payload.get("user") is None
             else int(payload["user"]))
@@ -175,10 +191,45 @@ class EventLog:
             records = list(self._tail)
         return records[-count:]
 
+    def flush(self) -> None:
+        """Force the sink to disk (appends already flush per batch)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
     def close(self) -> None:
-        if self._sink is not None:
-            self._sink.close()
-            self._sink = None
+        """Flush and close the sink; idempotent, safe without a sink."""
+        with self._lock:
+            sink, self._sink = self._sink, None
+        if sink is not None:
+            sink.flush()
+            sink.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def replay_events(path: str) -> list[tuple[int, object]]:
+    """Re-read a JSONL sink: ``[(seqno, event), ...]`` in file order.
+
+    The recovery half of the durable sink: every line ``EventLog`` wrote
+    parses back through :func:`parse_event`, so a restarted worker can
+    re-ingest the commit log. Blank lines are tolerated (a crash cannot
+    leave one mid-file — appends are whole-batch writes — but hand-edited
+    logs happen).
+    """
+    records: list[tuple[int, object]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            seqno = int(payload.pop("seqno"))
+            records.append((seqno, parse_event(payload)))
+    return records
 
 
 class ReplayBuffer:
@@ -190,13 +241,24 @@ class ReplayBuffer:
     is what lets a handful of events about a cold item actually move the
     encoders. FIFO eviction keeps the window recent and the memory
     bounded.
+
+    Sampling is *prioritized* when ``bias > 0``: each entry carries a
+    weight (the worker boosts histories ending at cold items and
+    histories of under-served users) and entry ``i`` is drawn with
+    probability proportional to ``weight_i ** bias``. ``bias = 0`` (the
+    default) is exactly the old uniform sampler — same RNG draws, so
+    recorded benchmarks are unchanged.
     """
 
-    def __init__(self, capacity: int = 2048):
+    def __init__(self, capacity: int = 2048, bias: float = 0.0):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if bias < 0.0:
+            raise ValueError("bias must be >= 0")
         self.capacity = capacity
-        self._entries: deque[np.ndarray] = deque(maxlen=capacity)
+        self.bias = bias
+        self._entries: deque[tuple[np.ndarray, float]] = deque(
+            maxlen=capacity)
         self._pushed = 0
         self._lock = threading.Lock()
 
@@ -210,21 +272,32 @@ class ReplayBuffer:
         with self._lock:
             return self._pushed
 
-    def push(self, history: np.ndarray) -> None:
-        """Add one (immutable) history snapshot."""
+    def push(self, history: np.ndarray, weight: float = 1.0) -> None:
+        """Add one (immutable) history snapshot with a replay priority."""
+        if not weight > 0.0:
+            raise ValueError(f"weight must be > 0, got {weight}")
         with self._lock:
-            self._entries.append(history)
+            self._entries.append((history, float(weight)))
             self._pushed += 1
 
     def sample(self, rng: np.random.Generator,
                batch_size: int) -> list[np.ndarray]:
         """Sample ``batch_size`` histories with replacement (may be short).
 
-        Returns an empty list when the buffer is empty.
+        Returns an empty list when the buffer is empty. With a positive
+        ``bias`` the draw is weighted (see class docstring); otherwise
+        uniform.
         """
         with self._lock:
             entries = list(self._entries)
         if not entries:
             return []
+        if self.bias > 0.0:
+            weights = np.array([w for _, w in entries], dtype=np.float64)
+            if not np.all(weights == weights[0]):
+                probs = weights ** self.bias
+                probs /= probs.sum()
+                picks = rng.choice(len(entries), size=batch_size, p=probs)
+                return [entries[i][0] for i in picks]
         picks = rng.integers(0, len(entries), size=batch_size)
-        return [entries[i] for i in picks]
+        return [entries[i][0] for i in picks]

@@ -67,9 +67,19 @@ class StreamManager:
         return self.worker(dataset, model).swap().to_json()
 
     def stats(self) -> dict:
-        """Per-scenario streaming counters (under ``/stats`` → ``stream``)."""
-        out = {f"{d}:{m}": worker.stats_json()
+        """Per-scenario streaming counters (under ``/stats`` → ``stream``).
+
+        ``totals`` aggregates the gate across scenarios — the first
+        number an operator checks ("is anything being rejected?") should
+        not require summing per-scenario dicts by hand.
+        """
+        per = {f"{d}:{m}": worker.stats_json()
                for (d, m), worker in self._workers.items()}
+        out: dict = dict(per)
+        out["totals"] = {
+            name: sum(stats[name] for stats in per.values())
+            for name in ("swaps", "swaps_rejected", "shadow_evals",
+                         "gate_evals", "round_errors")}
         if self._unstreamable:
             out["unstreamable"] = dict(self._unstreamable)
         return out

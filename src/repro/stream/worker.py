@@ -19,24 +19,38 @@ The swap protocol (the part that makes "atomic" true):
    loaded from the shadow's ``state_dict`` (atomic, validate-first —
    see ``Module.load_state_dict``), so serving never observes a
    half-written weight.
-3. Pre-warm a fresh :class:`~repro.serve.index.CatalogIndex` against the
+3. **Gate the candidate on held-out data** (the part that makes swaps
+   *safe*): score it on an eval slice built from *held-out users* —
+   their startup leave-one-out examples plus a reservoir of their
+   recent events, none of which ever reach the replay buffer — and
+   publish only if HR@10/NDCG@10 hold within ``gate_tolerance`` of the
+   serving generation on the same slice.
+   A failed gate rejects the swap (counted on ``/stats``), optionally
+   resets the shadow to the serving weights, and training continues;
+   serving never sees the update. ``shadow_mode`` goes further: the old
+   generation keeps serving unconditionally while every candidate's
+   ranks are logged to a JSONL diff file for offline comparison.
+4. Pre-warm a fresh :class:`~repro.serve.index.CatalogIndex` against the
    snapshot — a full re-encode after weight updates, or the
    ``publish_partial`` fast path re-encoding *only new items* when the
    catalogue grew without a weight change. The ANN structure is fitted
    before publication, continuing the retired index's version sequence.
-4. ``registry.publish`` flips routing on one dict assignment, then the
+5. ``registry.publish`` flips routing on one dict assignment, then the
    service retires the old generation's micro-batcher: already-queued
    requests flush against the old (still consistent) model+index, new
    requests build a batcher on the new generation, and the one racing
    request that can land on the just-closed batcher is retried by the
    service against the new generation (``BatcherClosed``).
 
-Requests therefore see old ranks or new ranks, never a mixture.
+Requests therefore see old ranks or new ranks, never a mixture — and
+with the gate, never a *worse* generation than the tolerance allows.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 import threading
 import time
 from collections import deque
@@ -44,8 +58,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import nn
 from ..data.batching import pad_sequences
 from ..data.catalog import MAX_SEQ_LEN, text_vocab_size
+from ..data.splits import EvalExample
 from ..serve.index import CatalogIndex
 from ..serve.registry import Scenario, build_model
 from ..train.trainer import TrainConfig, Trainer
@@ -53,6 +69,8 @@ from .dataset import GrowableDataset
 from .events import ColdItemEvent, EventLog, InteractionEvent, ReplayBuffer
 
 __all__ = ["StreamConfig", "SwapReport", "FineTuneWorker"]
+
+GATE_METRICS = ("hr@10", "ndcg@10")
 
 
 @dataclass
@@ -71,6 +89,19 @@ class StreamConfig:
     checkpoint_dir: str | None = None  # versioned ckpt per full swap
     log_tail: int = 4096
     log_path: str | None = None  # optional JSONL event sink
+    # -- eval gate (production safety) ------------------------------------
+    eval_gate: bool = True       # score the candidate before every swap
+    gate_tolerance: float = 0.1  # allowed absolute HR@10/NDCG@10 drop
+    eval_set_size: int = 64      # held-out users sampled at startup
+                                 # (capped at a quarter of the user base)
+    eval_holdout_frac: float = 0.1  # chance a brand-new user is held out
+    eval_reservoir: int = 64     # held-out recent-event reservoir capacity
+    gate_reset_on_reject: bool = True  # rebuild shadow from serving weights
+    # -- prioritized replay -----------------------------------------------
+    replay_bias: float = 0.0     # priority exponent (0 = uniform sampling)
+    # -- shadow scoring ----------------------------------------------------
+    shadow_mode: bool = False    # never publish weight updates, only log
+    shadow_log_path: str | None = None  # JSONL rank-diff file
     seed: int = 0
 
 
@@ -80,11 +111,13 @@ class SwapReport:
 
     version: int                 # catalogue index version now serving
     kind: str                    # "full" | "catalog" | "skipped"
+                                 # | "rejected" | "shadow"
     steps: int                   # fine-tune steps folded into this swap
     new_items: int               # cold items first served by this swap
     reencoded_items: int         # catalogue rows actually re-encoded
     latency_ms: float            # publish latency (encode + fit + flip)
     checkpoint: str | None = None
+    gate: dict | None = None     # eval-gate verdict (metrics + deltas)
 
     def to_json(self) -> dict:
         return dict(self.__dict__)
@@ -92,20 +125,27 @@ class SwapReport:
 
 @dataclass
 class _Counters:
-    """Monotonic ingest/train/swap counters (one lock-free snapshot each)."""
+    """Ingest/train/swap counters (mutated and snapshotted under one lock)."""
 
     interactions: int = 0
     cold_items: int = 0
     new_users: int = 0
+    held_out: int = 0            # events diverted to the eval reservoir
     steps: int = 0
     swaps: int = 0
+    swaps_rejected: int = 0
+    shadow_evals: int = 0
+    gate_evals: int = 0
     last_loss: float = float("nan")
+    last_rejection: dict | None = None
+    last_shadow: dict | None = None
     # Bounded: a long-lived server swapping for weeks must not grow this
     # (or the /stats percentile pass) without limit.
     swap_latencies_ms: deque = field(
         default_factory=lambda: deque(maxlen=4096))
     round_errors: int = 0
     last_error: str | None = None
+    last_error_type: str | None = None
 
 
 class FineTuneWorker:
@@ -138,7 +178,8 @@ class FineTuneWorker:
         self.data = GrowableDataset.from_base(scenario.dataset)
         self.log = EventLog(tail_size=self.config.log_tail,
                             path=self.config.log_path)
-        self.replay = ReplayBuffer(capacity=self.config.buffer_capacity)
+        self.replay = ReplayBuffer(capacity=self.config.buffer_capacity,
+                                   bias=self.config.replay_bias)
 
         # The shadow: same architecture, same weights, own optimizer.
         dtype = scenario.model.param_dtype
@@ -155,6 +196,35 @@ class FineTuneWorker:
                         seed=self.config.seed),
             pretraining=False)
 
+        # The eval slice is held out by *user*, not by event: an
+        # event-level holdout leaks — the user's very next click carries
+        # the held-out transition inside its replayed history, and the
+        # fine-tune steps would memorize the gate's targets (any
+        # candidate would then look great). Instead a sample of users is
+        # diverted from replay entirely: their startup leave-one-out
+        # examples form the frozen half of the slice, their online
+        # events feed the reservoir (see _apply_click), and nothing the
+        # optimizer ever sees contains their transitions. Capped at a
+        # quarter of the user base so training traffic survives.
+        eval_rng = np.random.default_rng(self.config.seed + 7)
+        sequences = scenario.dataset.sequences
+        eligible = [u for u, seq in enumerate(sequences) if len(seq) >= 3]
+        take = min(max(self.config.eval_set_size, 0), len(eligible) // 4)
+        picks = (eval_rng.choice(len(eligible), size=take, replace=False)
+                 if take else np.empty(0, dtype=np.int64))
+        self._eval_users: set[int] = {eligible[int(i)] for i in picks}
+        self._eval_frozen: list[EvalExample] = []
+        for user in sorted(self._eval_users):
+            seq = np.asarray(sequences[user], dtype=np.int64)
+            self._eval_frozen.append(EvalExample(
+                history=seq[:-1][-self.config.max_seq_len:],
+                target=int(seq[-1])))
+        self._eval_reservoir: list[EvalExample] = []
+        self._holdout_seen = 0
+        # Serving-side eval cache: per-example ranks, valid for one
+        # (serving model, catalogue size) pair — see _gate_evaluate.
+        self._baseline: dict | None = None
+
         self.counters = _Counters()
         self._published_items = scenario.dataset.num_items
         self._started = time.time()
@@ -163,8 +233,14 @@ class FineTuneWorker:
         self._events_at_last_swap = 0
         self._steps_since_swap = 0
         self._rng = np.random.default_rng(self.config.seed)
+        # Ingestion-side randomness (holdout draws) gets its own stream:
+        # request threads must never race the worker thread's sampler.
+        self._ingest_rng = np.random.default_rng(self.config.seed + 13)
         self._ingest_lock = threading.Lock()
         self._work_lock = threading.RLock()
+        # Innermost lock: guards every counter mutation and the
+        # stats_json snapshot, never held across training or I/O.
+        self._stats_lock = threading.Lock()
         self._cond = threading.Condition()
         self._closed = False
         self._thread: threading.Thread | None = None
@@ -245,7 +321,7 @@ class FineTuneWorker:
                 raise RuntimeError("stream worker is closed")
             self._validate(events)
             cold_ids = []
-            interactions = cold = new_users = 0
+            interactions = cold = new_users = held = 0
             for event in events:
                 if isinstance(event, ColdItemEvent):
                     item = self.data.add_item(event.text_tokens,
@@ -254,20 +330,27 @@ class FineTuneWorker:
                     cold_ids.append(item)
                     cold += 1
                     if event.user is not None:
-                        new_users += self._apply_click(event.user, item)
+                        fresh, out = self._apply_click(event.user, item)
+                        new_users += fresh
+                        held += out
                         interactions += 1
                 else:
-                    new_users += self._apply_click(event.user, event.item)
+                    fresh, out = self._apply_click(event.user, event.item)
+                    new_users += fresh
+                    held += out
                     interactions += 1
             self.log.extend(events)
-            self.counters.interactions += interactions
-            self.counters.cold_items += cold
-            self.counters.new_users += new_users
+            with self._stats_lock:
+                self.counters.interactions += interactions
+                self.counters.cold_items += cold
+                self.counters.new_users += new_users
+                self.counters.held_out += held
             receipt = {"accepted": len(events),
                        "interactions": interactions,
                        "cold_items": cold,
                        "cold_item_ids": cold_ids,
                        "new_users": new_users,
+                       "held_out": held,
                        "events_total": self.log.total,
                        "buffer_size": len(self.replay)}
         with self._cond:
@@ -275,16 +358,60 @@ class FineTuneWorker:
             self._cond.notify_all()
         return receipt
 
-    def _apply_click(self, user: int | None, item: int) -> int:
-        """Apply one interaction; returns 1 when it created a new user."""
+    def _apply_click(self, user: int | None, item: int) -> tuple[int, int]:
+        """Apply one interaction; returns (new-user flag, held-out flag).
+
+        A trainable user's transition enters the replay buffer with a
+        priority weight — cold-item targets and short-history
+        (under-served) users are boosted, which ``replay_bias`` turns
+        into oversampling. A *held-out* user's transition is instead
+        reservoir-sampled into the gate's eval slice: their events still
+        grow the dataset (serving history must stay complete) but are
+        invisible to the optimizer, which is what makes them a fair
+        measurement of the next candidate. Brand-new users are assigned
+        to the held-out pool with probability ``eval_holdout_frac`` so
+        the slice tracks the live distribution as the user base grows.
+        """
         fresh = user is None or user == -1 \
             or user == len(self.data.sequences)
+        if fresh:
+            uid = len(self.data.sequences)
+            if self.config.eval_holdout_frac > 0.0 \
+                    and self._ingest_rng.random() \
+                    < self.config.eval_holdout_frac:
+                self._eval_users.add(uid)
+        else:
+            uid = int(user)
         history = self.data.add_interaction(user, item)
-        if history.size >= 2:
+        if history.size < 2:
             # A single-click history has no next-item transition to learn
-            # from; the user enters the replay window on their 2nd click.
-            self.replay.push(history[-self.config.max_seq_len:])
-        return int(fresh)
+            # from (or evaluate); the user enters the window on click 2.
+            return int(fresh), 0
+        if uid in self._eval_users:
+            self._reservoir_add(EvalExample(
+                history=history[-self.config.max_seq_len - 1:-1],
+                target=int(item)))
+            return int(fresh), 1
+        weight = 1.0
+        if item > self.data.base_num_items:
+            weight *= 4.0                   # cold item: few events carry it
+        weight *= 1.0 + 1.0 / history.size  # under-served (short) history
+        self.replay.push(history[-self.config.max_seq_len:], weight=weight)
+        return int(fresh), 0
+
+    def _reservoir_add(self, example: EvalExample) -> None:
+        """Classic reservoir sampling into the held-out eval slice."""
+        capacity = max(self.config.eval_reservoir, 0)
+        if capacity == 0:
+            return
+        self._holdout_seen += 1
+        if len(self._eval_reservoir) < capacity:
+            self._eval_reservoir.append(example)
+        else:
+            slot = int(self._ingest_rng.integers(0, self._holdout_seen))
+            if slot >= capacity:
+                return
+            self._eval_reservoir[slot] = example
 
     # -- the background loop (worker thread) ---------------------------------
 
@@ -320,21 +447,53 @@ class FineTuneWorker:
             # last published generation either way, so record the error
             # where /stats surfaces it and keep draining events — a dead
             # silent thread would masquerade as "no traffic" while
-            # staleness grew unbounded.
+            # staleness grew unbounded. _round already rolled the shadow
+            # back to its pre-round state, so no half-applied update can
+            # survive into a later swap.
             try:
                 self._round()
             except Exception as exc:  # noqa: BLE001 - surfaced via stats
-                self.counters.round_errors += 1
-                self.counters.last_error = f"{type(exc).__name__}: {exc}"
+                with self._stats_lock:
+                    self.counters.round_errors += 1
+                    self.counters.last_error = \
+                        f"{type(exc).__name__}: {exc}"
+                    self.counters.last_error_type = type(exc).__name__
                 time.sleep(0.1)      # don't spin if the failure persists
 
     def _round(self) -> None:
-        """Up to ``steps_per_swap`` incremental steps, then a hot swap."""
+        """Up to ``steps_per_swap`` incremental steps, then a hot swap.
+
+        The step loop runs under a rollback guard: an exception
+        mid-round (a poisoned batch blowing up in the loss, an encode
+        failure) restores the shadow's weights, the optimizer's moments
+        and the step counter to their pre-round values before the error
+        propagates — a later swap can therefore never publish a
+        half-applied update.
+        """
         with self._work_lock:
-            for _ in range(self.config.steps_per_swap):
-                if not self._train_one_step():
-                    break
+            guard = self._round_guard()
+            try:
+                for _ in range(self.config.steps_per_swap):
+                    if not self._train_one_step():
+                        break
+            except Exception:
+                self._round_rollback(guard)
+                raise
             self._swap_locked()
+
+    def _round_guard(self) -> dict:
+        """Pre-round snapshot of everything a failed round may corrupt."""
+        return {"state": {name: value.copy() for name, value
+                          in self.shadow.state_dict().items()},
+                "optimizer": self.trainer.optimizer.state_dict(),
+                "steps_since_swap": self._steps_since_swap}
+
+    def _round_rollback(self, guard: dict) -> None:
+        """Restore the pre-round shadow/optimizer/counter state."""
+        self.shadow.load_state_dict(guard["state"])
+        self.trainer.optimizer.load_state_dict(guard["optimizer"])
+        with self._stats_lock:
+            self._steps_since_swap = guard["steps_since_swap"]
 
     def _train_one_step(self) -> bool:
         histories = self.replay.sample(self._rng, self.config.batch_size)
@@ -342,10 +501,165 @@ class FineTuneWorker:
             return False
         batch = pad_sequences(histories, max_len=self.config.max_seq_len)
         loss = self.trainer.train_step(batch.item_ids, batch.mask)
-        self.counters.steps += 1
-        self.counters.last_loss = loss
-        self._steps_since_swap += 1
+        with self._stats_lock:
+            self.counters.steps += 1
+            self.counters.last_loss = loss
+            self._steps_since_swap += 1
         return True
+
+    # -- the eval gate -------------------------------------------------------
+
+    def _eval_examples(self) -> list[EvalExample]:
+        """The gate's eval slice (call under the ingestion lock)."""
+        return self._eval_frozen + list(self._eval_reservoir)
+
+    def _ranked_eval(self, model, dataset, examples: list[EvalExample],
+                     catalog: np.ndarray | None = None
+                     ) -> tuple[dict, np.ndarray]:
+        """HR@10/NDCG@10 (plus raw ranks) of ``model`` on ``examples``.
+
+        ``catalog`` short-circuits the scorer's full catalogue encode
+        with a precomputed item matrix (e.g. the publish index's) — the
+        expensive half of a gate eval when the example count is small.
+        """
+        from ..eval.metrics import metrics_from_ranks, rank_of_target
+        from ..eval.scoring import batch_scorer
+        from ..nn.tensor import no_grad
+        scorer = batch_scorer(model, dataset, catalog=catalog)
+        was_training = bool(getattr(model, "training", False))
+        if was_training:
+            model.eval()
+        try:
+            chunks = []
+            with no_grad():
+                for start in range(0, len(examples), 128):
+                    chunk = examples[start:start + 128]
+                    scores = scorer([ex.history for ex in chunk])
+                    targets = np.array([ex.target for ex in chunk])
+                    chunks.append(rank_of_target(scores, targets))
+        finally:
+            if was_training:
+                model.train(True)
+        ranks = (np.concatenate(chunks) if chunks
+                 else np.empty(0, dtype=np.int64))
+        return metrics_from_ranks(ranks, ks=(10,)), ranks
+
+    def _gate_evaluate(self, candidate, serving, snapshot,
+                       examples: list[EvalExample],
+                       candidate_catalog: np.ndarray | None = None,
+                       serving_catalog: np.ndarray | None = None) -> dict:
+        """Score candidate vs serving generation on the held-out slice.
+
+        The candidate side reuses ``candidate_catalog`` — the publish
+        index's matrix, already encoded by the swap path — so gating
+        adds no catalogue encode of its own *and* scores exactly what
+        serving would serve. The serving side is cached *per example*
+        (keyed by identity — frozen examples never change and reservoir
+        churn only replaces a few entries between swaps) together with
+        its catalogue matrix, valid for one (serving model, catalogue
+        size) pair: at steady state the gate costs one candidate
+        user-encoder pass plus a handful of incremental baseline scores
+        per swap, not two full evals. Both sides score against the
+        *same* snapshot so catalogue growth cannot masquerade as a
+        metric move.
+        """
+        tolerance = self.config.gate_tolerance
+        start = time.perf_counter()
+        if not examples:
+            empty = np.empty(0, dtype=np.int64)
+            return {"accepted": True, "reason": "no_eval_examples",
+                    "examples": 0, "tolerance": tolerance,
+                    "candidate": {}, "baseline": {}, "deltas": {},
+                    "eval_ms": 0.0,
+                    "_candidate_ranks": empty, "_baseline_ranks": empty}
+        from ..eval.metrics import metrics_from_ranks
+        candidate_metrics, candidate_ranks = self._ranked_eval(
+            candidate, snapshot, examples, catalog=candidate_catalog)
+        cached = self._baseline
+        if (cached is None or cached["model"] is not serving
+                or cached["items"] != snapshot.num_items):
+            cached = {"model": serving, "items": snapshot.num_items,
+                      "catalog": None, "ranks": {}}
+        # id() keys are safe because the mapped value keeps the example
+        # alive (a freed id could otherwise be reused by a new example).
+        known: dict[int, tuple[EvalExample, int]] = cached["ranks"]
+        missing = [ex for ex in examples if id(ex) not in known]
+        if missing:
+            if cached["catalog"] is None and serving_catalog is not None:
+                cached["catalog"] = serving_catalog
+            if cached["catalog"] is None:
+                catalog = serving.encode_catalog(snapshot)
+                if self.registry.dtype is not None \
+                        and catalog.dtype != np.dtype(self.registry.dtype):
+                    # Serve-side fidelity: score through the same cast
+                    # the serving index applies (see CatalogIndex).
+                    catalog = catalog.astype(self.registry.dtype)
+                cached["catalog"] = catalog
+            _, missing_ranks = self._ranked_eval(serving, snapshot, missing,
+                                                 catalog=cached["catalog"])
+            for example, rank in zip(missing, missing_ranks):
+                known[id(example)] = (example, int(rank))
+        baseline_ranks = np.array([known[id(ex)][1] for ex in examples],
+                                  dtype=np.int64)
+        baseline_metrics = metrics_from_ranks(baseline_ranks, ks=(10,))
+        self._baseline = cached
+        deltas = {name: float(candidate_metrics[name]
+                              - baseline_metrics[name])
+                  for name in GATE_METRICS}
+        failed = sorted(name for name, delta in deltas.items()
+                        if delta < -tolerance)
+        verdict = {
+            "accepted": not failed,
+            "reason": ("ok" if not failed else
+                       "metric_drop:" + ",".join(failed)),
+            "examples": len(examples),
+            "tolerance": tolerance,
+            "candidate": {k: float(v) for k, v in candidate_metrics.items()},
+            "baseline": {k: float(v) for k, v in baseline_metrics.items()},
+            "deltas": deltas,
+            "eval_ms": (time.perf_counter() - start) * 1e3,
+        }
+        verdict["_candidate_ranks"] = candidate_ranks
+        verdict["_baseline_ranks"] = baseline_ranks
+        return verdict
+
+    @staticmethod
+    def _gate_summary(verdict: dict) -> dict:
+        """The JSON-safe slice of a gate verdict (no rank arrays)."""
+        return {k: v for k, v in verdict.items()
+                if not k.startswith("_")}
+
+    def _log_shadow(self, verdict: dict, steps: int) -> None:
+        """Append one candidate-vs-serving rank diff to the JSONL file."""
+        path = self.config.shadow_log_path
+        if not path:
+            return
+        record = {"time": time.time(),
+                  "scenario": f"{self.key[0]}:{self.key[1]}",
+                  "steps": steps,
+                  **self._gate_summary(verdict),
+                  "candidate_ranks":
+                  [int(r) for r in verdict.get("_candidate_ranks", ())],
+                  "baseline_ranks":
+                  [int(r) for r in verdict.get("_baseline_ranks", ())]}
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    def _reset_shadow(self, model) -> None:
+        """Discard the rejected update: shadow ← serving, fresh optimizer.
+
+        The rejected round's gradients are suspect wholesale, and AdamW
+        moments accumulated from them would keep steering subsequent
+        steps — so both are dropped. The replay buffer is left alone:
+        the FIFO window ages poisoned events out under clean traffic,
+        and until then the gate keeps rejecting (which is the point).
+        """
+        self.shadow.load_state_dict(model.state_dict())
+        config = self.trainer.config
+        params = [p for p in self.shadow.parameters() if p.requires_grad]
+        self.trainer.optimizer = nn.AdamW(
+            params, lr=config.lr, weight_decay=config.weight_decay)
 
     # -- hot swap ------------------------------------------------------------
 
@@ -364,17 +678,37 @@ class FineTuneWorker:
 
         Safe to call from any thread (serialized with the training loop
         on the work lock). No-ops with ``kind="skipped"`` when there is
-        nothing to publish — no steps taken and no new items.
+        nothing to publish — no steps taken and no new items. Weight
+        changes must pass the eval gate (``kind="rejected"`` when they
+        don't) and are withheld entirely in shadow mode
+        (``kind="shadow"``).
         """
         with self._work_lock:
             return self._swap_locked()
 
     def _swap_locked(self) -> SwapReport:
+        # The swap is latency-critical and GIL-convoy-prone: the gate
+        # eval and the index re-encode issue many short numpy ops, and
+        # on a saturated interpreter every GIL release lets a spinning
+        # request thread keep the GIL for a full switch interval (5ms
+        # by default) — inflating a ~100ms swap several-fold on small
+        # hosts. Bounding the interval for the swap's duration caps
+        # each wait; request threads lose nothing measurable (they are
+        # numpy-bound too and the swap is rare).
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(5e-4)
+        try:
+            return self._swap_impl()
+        finally:
+            sys.setswitchinterval(previous)
+
+    def _swap_impl(self) -> SwapReport:
         start = time.perf_counter()
         with self._ingest_lock:
             snapshot = self.data.snapshot()
             new_ids = self.data.new_item_ids(self._published_items)
             events_total = self.log.total
+            examples = self._eval_examples()
         steps = self._steps_since_swap
         old = self.registry.get(*self.key)
         if steps == 0 and new_ids.size == 0:
@@ -383,28 +717,94 @@ class FineTuneWorker:
                               reencoded_items=0, latency_ms=0.0)
         registry = self.registry
         checkpoint = None
+        gate_summary = None
         if steps == 0:
             # Catalogue growth without a weight change: every existing
             # row of the serving index is still exact, so share the
-            # serving model and re-encode only the new items.
+            # serving model and re-encode only the new items. Nothing to
+            # gate either — the weights are bitwise the serving weights.
             kind, model = "catalog", old.model
+            index = CatalogIndex(model, snapshot, dtype=registry.dtype,
+                                 start_version=old.recommender.index_version)
+            if old.recommender.index is not None \
+                    and not old.recommender.index.stale:
+                base_matrix = old.recommender.index.snapshot()[0]
+                index.publish_partial(base_matrix, new_ids)
+                reencoded = int(new_ids.size)
+            else:
+                index.refresh()
+                reencoded = snapshot.num_items
         else:
             kind = "full"
             model = build_model(self.spec.model, snapshot,
                                 seed=self.spec.seed)
             model.to_dtype(self.shadow.param_dtype)
             model.load_state_dict(self.shadow.state_dict())
-            checkpoint = self._save_checkpoint(steps)
-        index = CatalogIndex(model, snapshot, dtype=registry.dtype,
-                             start_version=old.recommender.index_version)
-        if kind == "catalog" and old.recommender.index is not None \
-                and not old.recommender.index.stale:
-            base_matrix = old.recommender.index.snapshot()[0]
-            index.publish_partial(base_matrix, new_ids)
-            reencoded = int(new_ids.size)
-        else:
+            # Encode the publish index *before* the gate: the candidate
+            # is then gated against the exact matrix that would serve
+            # it, and the catalogue encode is paid once — shared by the
+            # eval and the publication — instead of once per side.
+            index = CatalogIndex(model, snapshot, dtype=registry.dtype,
+                                 start_version=old.recommender.index_version)
             index.refresh()
             reencoded = snapshot.num_items
+            if self.config.eval_gate or self.config.shadow_mode:
+                # The serving side can reuse the live index's matrix
+                # when the catalogue has not grown since it was built.
+                serving_catalog = None
+                base = old.recommender.index
+                if base is not None and not base.stale:
+                    base_matrix = base.snapshot()[0]
+                    if base_matrix.shape[0] == snapshot.num_items + 1:
+                        serving_catalog = base_matrix
+                verdict = self._gate_evaluate(model, old.model, snapshot,
+                                              examples, index.snapshot()[0],
+                                              serving_catalog)
+                gate_summary = self._gate_summary(verdict)
+                with self._stats_lock:
+                    self.counters.gate_evals += 1
+                if self.config.shadow_mode:
+                    # Keep serving the old generation unconditionally;
+                    # the candidate's ranks go to the diff log and the
+                    # shadow keeps training (steps accumulate).
+                    self._log_shadow(verdict, steps)
+                    latency_ms = (time.perf_counter() - start) * 1e3
+                    with self._stats_lock:
+                        self.counters.shadow_evals += 1
+                        self.counters.last_shadow = dict(
+                            gate_summary, steps=steps, time=time.time())
+                    return SwapReport(
+                        version=old.recommender.index_version,
+                        kind="shadow", steps=steps,
+                        new_items=int(new_ids.size), reencoded_items=0,
+                        latency_ms=latency_ms, gate=gate_summary)
+                if not verdict["accepted"]:
+                    rejection = dict(gate_summary, steps_discarded=steps,
+                                     time=time.time())
+                    if self.config.gate_reset_on_reject:
+                        self._reset_shadow(old.model)
+                        rejection["shadow_reset"] = True
+                    latency_ms = (time.perf_counter() - start) * 1e3
+                    with self._stats_lock:
+                        self.counters.swaps_rejected += 1
+                        self.counters.last_rejection = rejection
+                        if self.config.gate_reset_on_reject:
+                            self._steps_since_swap = 0
+                    return SwapReport(
+                        version=old.recommender.index_version,
+                        kind="rejected", steps=steps,
+                        new_items=int(new_ids.size), reencoded_items=0,
+                        latency_ms=latency_ms, gate=gate_summary)
+                # The accepted candidate becomes the serving generation:
+                # promote its per-example ranks and its catalogue matrix
+                # to the baseline cache, so the next gate's serving side
+                # costs only the reservoir entries that changed since.
+                self._baseline = {
+                    "model": model, "items": snapshot.num_items,
+                    "catalog": index.snapshot()[0],
+                    "ranks": {id(ex): (ex, int(rank)) for ex, rank in
+                              zip(examples, verdict["_candidate_ranks"])}}
+            checkpoint = self._save_checkpoint(steps)
         recommender = registry.build_recommender(model, snapshot,
                                                  index=index)
         scenario = Scenario(spec=self.spec, dataset=snapshot, model=model,
@@ -413,15 +813,17 @@ class FineTuneWorker:
         self.service.retire_batcher(self.key)
         latency_ms = (time.perf_counter() - start) * 1e3
         self._published_items = snapshot.num_items
-        self._steps_since_swap = 0
-        self._events_at_last_swap = events_total
-        self._last_swap_time = time.time()
-        self.counters.swaps += 1
-        self.counters.swap_latencies_ms.append(latency_ms)
+        with self._stats_lock:
+            self._steps_since_swap = 0
+            self._events_at_last_swap = events_total
+            self._last_swap_time = time.time()
+            self.counters.swaps += 1
+            self.counters.swap_latencies_ms.append(latency_ms)
         return SwapReport(version=index.version, kind=kind, steps=steps,
                           new_items=int(new_ids.size),
                           reencoded_items=reencoded,
-                          latency_ms=latency_ms, checkpoint=checkpoint)
+                          latency_ms=latency_ms, checkpoint=checkpoint,
+                          gate=gate_summary)
 
     def _save_checkpoint(self, steps: int) -> str | None:
         directory = self.config.checkpoint_dir
@@ -442,36 +844,61 @@ class FineTuneWorker:
     # -- introspection -------------------------------------------------------
 
     def stats_json(self) -> dict:
-        """Drift/lag counters for ``/stats`` and ``repro stream``."""
-        counters = self.counters
-        latencies = list(counters.swap_latencies_ms)
-        now = time.time()
-        out = {"events_total": self.log.total,
-               "interactions": counters.interactions,
-               "cold_items": counters.cold_items,
-               "new_users": counters.new_users,
-               "buffer_size": len(self.replay),
-               "buffer_pushed": self.replay.pushed,
-               "steps": counters.steps,
-               "steps_since_swap": self._steps_since_swap,
-               "last_loss": counters.last_loss,
-               "swaps": counters.swaps,
-               "round_errors": counters.round_errors,
-               "last_error": counters.last_error,
-               "events_since_swap": self.log.total
-               - self._events_at_last_swap,
-               "staleness_s": now - self._last_swap_time,
-               "published_items": self._published_items,
-               "catalogue_items": self.data.num_items,
-               "supports_cold_items": self.supports_cold_items,
-               "index_version":
-               self.registry.get(*self.key).recommender.index_version}
+        """Drift/lag counters for ``/stats`` and ``repro stream``.
+
+        The snapshot is taken under the counters lock, so concurrent
+        ``_round`` / ``ingest`` mutations can never produce a torn read
+        (e.g. a negative ``events_since_swap`` or ``steps_since_swap >
+        steps``); monotonic counters observed across successive calls
+        never move backwards.
+        """
+        config = self.config
+        with self._stats_lock:
+            counters = self.counters
+            events_total = self.log.total
+            latencies = list(counters.swap_latencies_ms)
+            snap = {"events_total": events_total,
+                    "interactions": counters.interactions,
+                    "cold_items": counters.cold_items,
+                    "new_users": counters.new_users,
+                    "held_out": counters.held_out,
+                    "steps": counters.steps,
+                    "steps_since_swap": self._steps_since_swap,
+                    "last_loss": counters.last_loss,
+                    "swaps": counters.swaps,
+                    "swaps_rejected": counters.swaps_rejected,
+                    "shadow_evals": counters.shadow_evals,
+                    "gate_evals": counters.gate_evals,
+                    "last_rejection": counters.last_rejection,
+                    "last_shadow": counters.last_shadow,
+                    "round_errors": counters.round_errors,
+                    "last_error": counters.last_error,
+                    "last_error_type": counters.last_error_type,
+                    "events_since_swap": events_total
+                    - self._events_at_last_swap,
+                    "staleness_s": time.time() - self._last_swap_time,
+                    "published_items": self._published_items,
+                    "eval_users": len(self._eval_users),
+                    "eval_examples": (len(self._eval_frozen)
+                                      + len(self._eval_reservoir))}
+        snap.update({
+            "buffer_size": len(self.replay),
+            "buffer_pushed": self.replay.pushed,
+            "catalogue_items": self.data.num_items,
+            "supports_cold_items": self.supports_cold_items,
+            "eval_gate": {"enabled": config.eval_gate,
+                          "tolerance": config.gate_tolerance,
+                          "holdout_frac": config.eval_holdout_frac,
+                          "shadow_mode": config.shadow_mode},
+            "replay_bias": self.replay.bias,
+            "index_version":
+            self.registry.get(*self.key).recommender.index_version})
         if latencies:
             arr = np.asarray(latencies)
-            out["swap_p50_ms"] = float(np.percentile(arr, 50))
-            out["swap_p99_ms"] = float(np.percentile(arr, 99))
-            out["swap_last_ms"] = float(arr[-1])
-        return out
+            snap["swap_p50_ms"] = float(np.percentile(arr, 50))
+            snap["swap_p99_ms"] = float(np.percentile(arr, 99))
+            snap["swap_last_ms"] = float(arr[-1])
+        return snap
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -123,6 +123,37 @@ def test_http_error_contract(server):
     assert err.value.code == 404
 
 
+def test_unexpected_failure_yields_well_formed_500(server, service,
+                                                   monkeypatch, capfd):
+    """A handler bug mid-request is a JSON 500, not a hung connection.
+
+    The body names the exception class (the client-side contract), the
+    full traceback goes to the server's stderr (the operator-side
+    contract), and the server keeps answering afterwards.
+    """
+    def boom(*args, **kwargs):
+        raise RuntimeError("exploded mid-request")
+
+    monkeypatch.setattr(service, "recommend", boom)
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(server, "/recommend", {"dataset": "kwai_food",
+                                     "model": "sasrec", "history": [1]})
+    assert err.value.code == 500
+    body = json.load(err.value)
+    assert body["error"] == "internal error: exploded mid-request"
+    assert body["error_type"] == "RuntimeError"
+    logged = capfd.readouterr().err
+    assert "unhandled RuntimeError serving /recommend" in logged
+    assert "Traceback (most recent call last)" in logged
+    assert "exploded mid-request" in logged
+    # The worker thread survived: the very next request is served.
+    monkeypatch.undo()
+    status, payload = _post(server, "/recommend",
+                            {"dataset": "kwai_food", "model": "sasrec",
+                             "history": [1], "k": 3})
+    assert status == 200 and len(payload["items"]) == 3
+
+
 def test_service_hot_swap_rebinds_batcher():
     """Re-adding a scenario must retire the batcher of the old model."""
     registry = ModelRegistry(profile="smoke", dtype="float32")
