@@ -1,6 +1,6 @@
 """Command-line interface for the PMMRec reproduction.
 
-Eight subcommands mirror the library's main workflows::
+Ten subcommands mirror the library's main workflows::
 
     repro datasets [--profile paper]            # Table II style statistics
     repro train --dataset kwai_food             # train one model
@@ -10,6 +10,8 @@ Eight subcommands mirror the library's main workflows::
     repro bench-serve --dataset kwai_food --model sasrec
     repro stream --scenarios kwai_food:pmmrec-text   # serve + learn online
     repro bench-stream --dataset hm --model pmmrec-text
+    repro prof --dataset kwai_food --model pmmrec-text  # kernel profile
+    repro stats --url http://127.0.0.1:8765     # tabulate /metrics
 
 Every subcommand is importable (``main(argv)``) for tests.
 """
@@ -93,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start in-process, answer one request per "
                             "scenario over HTTP, then exit (CI)")
     _add_retrieval_args(serve)
+    _add_obs_args(serve)
 
     stream = sub.add_parser("stream",
                             help="serve with online continual learning "
@@ -149,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="in-process: ingest events over HTTP, "
                              "fine-tune, hot-swap, verify, exit (CI)")
     _add_retrieval_args(stream)
+    _add_obs_args(stream)
 
     bench_stream = sub.add_parser(
         "bench-stream",
@@ -192,7 +196,37 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["float32", "float64"])
     bench.add_argument("--seed", type=int, default=0)
     _add_retrieval_args(bench)
+
+    prof = sub.add_parser("prof",
+                          help="profile the fused training kernels "
+                               "(REPRO_PROF) over a few train steps")
+    prof.add_argument("--dataset", default="kwai_food")
+    prof.add_argument("--model", default="pmmrec-text")
+    prof.add_argument("--profile", default=None)
+    prof.add_argument("--steps", type=int, default=8)
+    prof.add_argument("--batch-size", type=int, default=16)
+    prof.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats",
+                           help="fetch and tabulate /metrics + /stats "
+                                "from a running server")
+    stats.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="base URL of a repro serve/stream process")
+    stats.add_argument("--prefix", default="repro_",
+                       help="only show metric families with this prefix")
     return parser
+
+
+def _add_obs_args(sub) -> None:
+    """Observability flags shared by ``serve`` and ``stream``."""
+    sub.add_argument("--trace-sample-rate", type=float, default=0.0,
+                     help="fraction of requests (and swaps) that record "
+                          "a span trace (0 disables, 1 traces all)")
+    sub.add_argument("--trace-log", default=None,
+                     help="append finished traces to this JSONL file")
+    sub.add_argument("--access-log", default=None,
+                     help="append one JSONL line per HTTP request "
+                          "(method, path, status, latency_ms, trace_id)")
 
 
 def _add_retrieval_args(sub) -> None:
@@ -326,11 +360,21 @@ def _build_service(args):
                                  cache_size=args.cache_size)
 
 
+def _configure_obs(args) -> None:
+    """Apply the shared --trace-sample-rate/--trace-log flags."""
+    from .obs import trace
+    if args.trace_sample_rate or args.trace_log:
+        trace.configure(sample_rate=args.trace_sample_rate,
+                        path=args.trace_log)
+
+
 def _cmd_serve(args) -> int:
     from .serve import make_server, serve_forever
     service = _build_service(args)
+    _configure_obs(args)
     if not args.smoke:
-        serve_forever(service, host=args.host, port=args.port)
+        serve_forever(service, host=args.host, port=args.port,
+                      access_log=args.access_log)
         return 0
     # Smoke mode: bind an ephemeral port, answer one real HTTP request per
     # scenario, verify it against direct top-k retrieval, and exit.
@@ -338,7 +382,8 @@ def _cmd_serve(args) -> int:
     import urllib.request
 
     import numpy as np
-    server = make_server(service, host=args.host, port=0)
+    server = make_server(service, host=args.host, port=0,
+                         access_log=args.access_log)
     server.start_background()
     failures = 0
     try:
@@ -410,10 +455,13 @@ def _cmd_stream(args) -> int:
               f"{args.steps_per_swap} steps/swap)")
     for key, reason in manager.stats().get("unstreamable", {}).items():
         print(f"serving only (no stream) {key}: {reason}")
+    _configure_obs(args)
     if not args.smoke:
-        serve_forever(service, host=args.host, port=args.port)
+        serve_forever(service, host=args.host, port=args.port,
+                      access_log=args.access_log)
         return 0
-    server = make_server(service, host=args.host, port=0)
+    server = make_server(service, host=args.host, port=0,
+                         access_log=args.access_log)
     server.start_background()
     try:
         return run_stream_smoke(service, manager, server.url,
@@ -472,13 +520,74 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _cmd_prof(args) -> int:
+    """Run a few profiled train steps and print the per-kernel table."""
+    from .data import build_dataset
+    from .data.batching import batch_iterator
+    from .obs import prof
+    from .train import TrainConfig, Trainer
+    import numpy as np
+    dataset = build_dataset(args.dataset, profile=args.profile)
+    model = _make_model(args.model, dataset, args.seed)
+    trainer = Trainer(model, dataset,
+                      TrainConfig(batch_size=args.batch_size,
+                                  seed=args.seed),
+                      pretraining=args.model.startswith("pmmrec"))
+    rng = np.random.default_rng(args.seed)
+    prof.enable()
+    prof.reset_baseline()
+    done = 0
+    while done < args.steps:
+        for batch in batch_iterator(dataset.split.train, args.batch_size,
+                                    rng, max_len=trainer.config.max_seq_len):
+            trainer.train_step(batch.item_ids, batch.mask)
+            done += 1
+            if done >= args.steps:
+                break
+    print(prof.render_table(
+        title=f"kernel profile — {args.dataset}:{args.model} "
+              f"({done} steps, batch {args.batch_size})"))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Tabulate a running server's /metrics (+ /stats summary)."""
+    import json as _json
+    import urllib.request
+    from .obs.metrics import parse_prometheus
+    base = args.url.rstrip("/")
+    with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+        exposition = response.read().decode()
+    samples = parse_prometheus(exposition)
+    shown = sorted((name, labels, value)
+                   for (name, labels), value in samples.items()
+                   if name.startswith(args.prefix)
+                   and not name.endswith("_bucket"))
+    width = max((len(f"{n}{l}") for n, l, _ in shown), default=20)
+    for name, labels, value in shown:
+        print(f"{name + labels:<{width}}  {value:g}")
+    try:
+        with urllib.request.urlopen(base + "/stats", timeout=10) as response:
+            stats = _json.load(response)
+    except Exception:
+        return 0
+    for scenario, counters in stats.get("scenarios", {}).items():
+        latency = counters.get("latency_ms")
+        if latency:
+            print(f"{scenario}: p50 {latency['p50']:.2f} ms  "
+                  f"p99 {latency['p99']:.2f} ms  "
+                  f"({latency['count']} requests)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
                 "transfer": _cmd_transfer, "experiment": _cmd_experiment,
                 "serve": _cmd_serve, "bench-serve": _cmd_bench_serve,
-                "stream": _cmd_stream, "bench-stream": _cmd_bench_stream}
+                "stream": _cmd_stream, "bench-stream": _cmd_bench_stream,
+                "prof": _cmd_prof, "stats": _cmd_stats}
     return handlers[args.command](args)
 
 

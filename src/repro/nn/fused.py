@@ -42,6 +42,7 @@ import os
 import threading
 
 import numpy as np
+from ..obs import prof
 from . import ops as _ops
 from .ops import _INV_SQRT2, _INV_SQRT_2PI, _NEG_INF, cross_entropy, erf_, \
     gelu, masked_fill, softmax
@@ -156,6 +157,7 @@ def _attn_backward(g: np.ndarray, qd: np.ndarray, kd: np.ndarray,
     return gs @ kd, np.swapaxes(gs, -1, -2) @ qd, gv
 
 
+@prof.profiled("fused.attention")
 def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
                                  mask: np.ndarray | None = None,
                                  scale: float | None = None,
@@ -216,6 +218,7 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
     return Tensor._node(out, (q, k, v), backward)
 
 
+@prof.profiled("fused.mha")
 def multi_head_attention(x: Tensor, wq: Tensor, bq: Tensor, wk: Tensor,
                          bk: Tensor, wv: Tensor, bv: Tensor, wo: Tensor,
                          bo: Tensor, num_heads: int,
@@ -406,6 +409,7 @@ def _gelu_ffn_backward(g: np.ndarray, xd: np.ndarray, w1: np.ndarray,
     return gx, gw1, gb1, gw2, gb2
 
 
+@prof.profiled("fused.transformer_block")
 def transformer_block(x: Tensor, params: dict, num_heads: int, eps: float,
                       mask: np.ndarray | None = None,
                       attn_dropout_mask: np.ndarray | None = None,
@@ -504,6 +508,7 @@ def transformer_block(x: Tensor, params: dict, num_heads: int, eps: float,
 # -- training loss -------------------------------------------------------------
 
 
+@prof.profiled("fused.cross_entropy")
 def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
                           ignore_index: int | None = None) -> Tensor:
     """Fused mean cross-entropy between ``logits`` and integer ``targets``.
@@ -562,6 +567,7 @@ def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
 # -- affine --------------------------------------------------------------------
 
 
+@prof.profiled("fused.linear")
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Fused affine transform ``x @ weight + bias`` as one graph node.
 
@@ -599,6 +605,7 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     return Tensor._node(out, parents, backward)
 
 
+@prof.profiled("fused.ffn")
 def feed_forward(x: Tensor, w1: Tensor, b1: Tensor, w2: Tensor, b2: Tensor,
                  dropout_mask: np.ndarray | None = None) -> Tensor:
     """Fused Transformer FFN: ``(gelu(x @ w1 + b1) * drop) @ w2 + b2``.
@@ -634,6 +641,7 @@ def feed_forward(x: Tensor, w1: Tensor, b1: Tensor, w2: Tensor, b2: Tensor,
 # -- contrastive loss ----------------------------------------------------------
 
 
+@prof.profiled("fused.info_nce")
 def info_nce(scores: Tensor, positive_mask: np.ndarray,
              candidate_mask: np.ndarray | None = None) -> Tensor:
     """Fused generalized InfoNCE (see :func:`repro.nn.ops.info_nce`).
@@ -691,6 +699,7 @@ def info_nce(scores: Tensor, positive_mask: np.ndarray,
 # -- layer norm ----------------------------------------------------------------
 
 
+@prof.profiled("fused.layer_norm")
 def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
                eps: float = 1e-5) -> Tensor:
     """Fused layer normalization over the last axis as one graph node.

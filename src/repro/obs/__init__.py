@@ -1,0 +1,29 @@
+"""``repro.obs`` — dependency-free observability for serve + stream.
+
+Three pieces, all stdlib:
+
+* :mod:`~repro.obs.metrics` — a thread-sharded registry of counters,
+  gauges and fixed-layout log-bucketed histograms (p50/p95/p99 in O(1)
+  over bounded state), rendered as Prometheus text on ``GET /metrics``;
+* :mod:`~repro.obs.trace` — span-context request/swap tracing with
+  probabilistic sampling and a JSONL sink, propagated across the
+  micro-batcher thread handoff (``--trace-sample-rate`` /
+  ``--trace-log``);
+* :mod:`~repro.obs.prof` — ``REPRO_PROF=1`` per-kernel wall-time
+  accumulation behind the ``repro prof`` table.
+
+See ``docs/observability.md`` for the instrument naming scheme, the
+histogram bucket layout, the span taxonomy and the measured overhead
+(``results/obs_bench.txt``).
+"""
+
+from . import metrics, prof, trace
+from .metrics import (REGISTRY, Counter, Gauge, Histogram,
+                      HistogramSnapshot, MetricsRegistry, parse_prometheus,
+                      render_prometheus)
+from .trace import TRACER, TraceContext, Tracer
+
+__all__ = ["metrics", "trace", "prof",
+           "REGISTRY", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "HistogramSnapshot", "render_prometheus", "parse_prometheus",
+           "TRACER", "Tracer", "TraceContext"]

@@ -1,0 +1,171 @@
+"""Opt-in kernel profiling: per-op wall time for the fused hot path.
+
+``REPRO_PROF=1`` answers "which kernel dominates a fine-tune round?":
+every fused composite node (whole transformer block, attention, LN,
+FFN, losses), the engine-level ``backward`` pass, gradient clipping and
+the optimizer step accumulate wall-time + call counts into the metrics
+registry (``repro_prof_op_seconds_total{op=...}`` /
+``repro_prof_op_calls_total{op=...}``), and ``repro prof`` prints the
+table.
+
+Off is the default and costs one attribute read + branch per call site
+(ops are wrapped at definition time; the wrapper's first statement
+bails). ``enable()`` / ``disable()`` flip the switch at runtime for
+tests and the ``repro prof`` CLI; the ``REPRO_PROF`` environment
+variable seeds the initial state so whole test-suite legs can run
+profiled in CI (keeping the path from rotting).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from contextlib import contextmanager, nullcontext
+
+from .metrics import REGISTRY
+
+__all__ = ["enabled", "enable", "disable", "record", "profiled",
+           "section", "snapshot", "reset_baseline", "render_table"]
+
+_ENV = "REPRO_PROF"
+
+
+class _State:
+    __slots__ = ("enabled",)
+
+    def __init__(self):
+        self.enabled = os.environ.get(_ENV, "0") == "1"
+
+
+_STATE = _State()
+# Totals at the last reset_baseline(); the table reports deltas so one
+# process can profile several phases without tearing the registry down.
+_BASELINE: dict[str, tuple[float, float]] = {}
+
+
+def enabled() -> bool:
+    return _STATE.enabled
+
+
+def enable() -> None:
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    _STATE.enabled = False
+
+
+def record(op: str, seconds: float, calls: int = 1) -> None:
+    """Fold one timed call into the per-op accumulators."""
+    REGISTRY.counter("repro_prof_op_seconds_total",
+                     "accumulated wall time per profiled op",
+                     labels={"op": op}).inc(seconds)
+    REGISTRY.counter("repro_prof_op_calls_total",
+                     "calls per profiled op",
+                     labels={"op": op}).inc(calls)
+
+
+def profiled(op: str):
+    """Wrap a function so REPRO_PROF=1 accumulates its wall time.
+
+    The wrapper's disabled cost is one global read and a branch — cheap
+    against the chunky fused kernels it decorates (each is many numpy
+    calls over whole batches).
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _STATE.enabled:
+                return fn(*args, **kwargs)
+            tick = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                record(op, time.perf_counter() - tick)
+        return wrapper
+    return decorate
+
+
+@contextmanager
+def _timed(op: str):
+    tick = time.perf_counter()
+    try:
+        yield
+    finally:
+        record(op, time.perf_counter() - tick)
+
+
+def section(op: str):
+    """``with prof.section("optimizer_step"):`` — no-op when disabled."""
+    if not _STATE.enabled:
+        return nullcontext()
+    return _timed(op)
+
+
+# -- reporting -----------------------------------------------------------------
+
+
+def snapshot() -> dict[str, dict]:
+    """Per-op totals since the last :func:`reset_baseline`."""
+    seconds: dict[str, float] = {}
+    calls: dict[str, float] = {}
+    for inst in REGISTRY.instruments():
+        if inst.kind != "counter":
+            continue
+        op = inst.labels.get("op")
+        if op is None:
+            continue
+        if inst.name == "repro_prof_op_seconds_total":
+            seconds[op] = inst.value
+        elif inst.name == "repro_prof_op_calls_total":
+            calls[op] = inst.value
+    out = {}
+    for op, total in seconds.items():
+        base_s, base_c = _BASELINE.get(op, (0.0, 0.0))
+        n = calls.get(op, 0.0) - base_c
+        t = total - base_s
+        if n <= 0:
+            continue
+        out[op] = {"calls": int(n), "total_ms": t * 1e3,
+                   "mean_us": (t / n) * 1e6}
+    return out
+
+
+def reset_baseline() -> None:
+    """Start a fresh profiling window (counters stay monotonic)."""
+    _BASELINE.clear()
+    seconds: dict[str, float] = {}
+    calls: dict[str, float] = {}
+    for inst in REGISTRY.instruments():
+        if inst.kind != "counter":
+            continue
+        op = inst.labels.get("op")
+        if op is None:
+            continue
+        if inst.name == "repro_prof_op_seconds_total":
+            seconds[op] = inst.value
+        elif inst.name == "repro_prof_op_calls_total":
+            calls[op] = inst.value
+    for op in set(seconds) | set(calls):
+        _BASELINE[op] = (seconds.get(op, 0.0), calls.get(op, 0.0))
+
+
+def render_table(title: str = "kernel profile") -> str:
+    """The ``repro prof`` table: per-op calls / total / mean / share."""
+    stats = snapshot()
+    lines = [title,
+             f"{'op':<28} {'calls':>8} {'total ms':>10} "
+             f"{'mean µs':>10} {'share':>7}"]
+    if not stats:
+        lines.append("(no profiled ops recorded — is REPRO_PROF=1 set?)")
+        return "\n".join(lines)
+    grand = sum(s["total_ms"] for s in stats.values())
+    for op in sorted(stats, key=lambda o: -stats[o]["total_ms"]):
+        s = stats[op]
+        share = s["total_ms"] / grand if grand > 0 else 0.0
+        lines.append(f"{op:<28} {s['calls']:>8} {s['total_ms']:>10.2f} "
+                     f"{s['mean_us']:>10.1f} {share:>6.1%}")
+    lines.append(f"{'total':<28} {'':>8} {grand:>10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Per-request / per-swap span tracing with probabilistic sampling.
+
+Answers "where did this request's 347 ms go?" without print statements:
+a sampled request (or hot swap) carries a :class:`TraceContext` through
+the hot path, each stage records a span with absolute ``perf_counter``
+times, and the finished trace is appended to a JSONL sink — one line
+per trace, spans summing (within scheduling slack) to the end-to-end
+latency.
+
+Design constraints, in order:
+
+1. **Disabled must be ~free.** Every span site is written as::
+
+       ctx = trace.current()          # one thread-local read
+       ...
+       t = perf_counter() if ctx is not None else 0.0
+       work()
+       if ctx is not None:
+           ctx.add_span("encode", t, perf_counter())
+
+   so an unsampled request pays one thread-local lookup per stage
+   block and a branch per span site — no context managers, no
+   allocation. ``Tracer.start`` itself is a single branch when the
+   sample rate is 0.
+
+2. **Spans cross threads.** A request is parsed on an HTTP thread,
+   waits in the micro-batcher queue, and executes on the batcher
+   worker thread. The context object travels with the queued request
+   (``_Pending.trace``), the worker stamps ``queue_wait`` and the
+   batch-stage spans into it with real absolute times, and the HTTP
+   thread finishes the trace. ``TraceContext.add_span`` takes a lock —
+   traces are rare (sampled) so contention is irrelevant.
+
+3. **One clock.** All span boundaries are ``time.perf_counter`` values
+   relative to the context's ``t0``; wall time is recorded once at the
+   start for the JSONL record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+
+__all__ = ["Span", "TraceContext", "Tracer", "TRACER", "current",
+           "activate", "configure", "start", "finish"]
+
+
+class Span:
+    """One named stage: offsets are seconds relative to the trace start."""
+
+    __slots__ = ("name", "start", "end")
+
+    def __init__(self, name: str, start: float, end: float):
+        self.name = name
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_json(self, t0: float) -> dict:
+        return {"name": self.name,
+                "start_ms": (self.start - t0) * 1e3,
+                "duration_ms": self.duration * 1e3}
+
+
+class TraceContext:
+    """The mutable trace being assembled; safe to stamp from any thread."""
+
+    __slots__ = ("trace_id", "kind", "name", "t0", "wall0", "meta",
+                 "spans", "_lock")
+
+    def __init__(self, kind: str, name: str, meta: dict | None = None):
+        self.trace_id = f"{random.getrandbits(64):016x}"
+        self.kind = kind
+        self.name = name
+        self.t0 = time.perf_counter()
+        self.wall0 = time.time()
+        self.meta = dict(meta or {})
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def add_span(self, name: str, start: float, end: float) -> None:
+        """Record a stage with absolute ``perf_counter`` boundaries."""
+        with self._lock:
+            self.spans.append(Span(name, start, end))
+
+    def extend(self, spans: list[Span]) -> None:
+        """Adopt spans recorded against a sibling context (batch stages)."""
+        with self._lock:
+            self.spans.extend(spans)
+
+    def span(self, name: str):
+        """Context-manager convenience for cold paths (swap phases)."""
+        return _SpanScope(self, name)
+
+    def span_sum_ms(self) -> float:
+        with self._lock:
+            return sum(s.duration for s in self.spans) * 1e3
+
+    def to_json(self, total_s: float, extra: dict | None = None) -> dict:
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: s.start)
+            record = {"trace_id": self.trace_id, "kind": self.kind,
+                      "name": self.name, "time": self.wall0,
+                      "total_ms": total_s * 1e3,
+                      "span_sum_ms": sum(s.duration for s in spans) * 1e3,
+                      "spans": [s.to_json(self.t0) for s in spans]}
+        record.update(self.meta)
+        if extra:
+            record.update(extra)
+        return record
+
+
+class _SpanScope:
+    __slots__ = ("_ctx", "_name", "_start")
+
+    def __init__(self, ctx: TraceContext, name: str):
+        self._ctx = ctx
+        self._name = name
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._ctx.add_span(self._name, self._start, time.perf_counter())
+
+
+_ACTIVE = threading.local()
+
+
+def current() -> TraceContext | None:
+    """The context active on this thread, or ``None`` (the common case)."""
+    return getattr(_ACTIVE, "ctx", None)
+
+
+class _Activation:
+    """Install ``ctx`` as this thread's current context for a scope.
+
+    ``ctx=None`` is a true no-op scope, so call sites can write
+    ``with trace.activate(maybe_ctx):`` unconditionally.
+    """
+
+    __slots__ = ("_ctx", "_prev")
+
+    def __init__(self, ctx: TraceContext | None):
+        self._ctx = ctx
+
+    def __enter__(self):
+        if self._ctx is not None:
+            self._prev = getattr(_ACTIVE, "ctx", None)
+            _ACTIVE.ctx = self._ctx
+        return self._ctx
+
+    def __exit__(self, *exc):
+        if self._ctx is not None:
+            _ACTIVE.ctx = self._prev
+
+
+def activate(ctx: TraceContext | None) -> _Activation:
+    return _Activation(ctx)
+
+
+class Tracer:
+    """Sampling decision + JSONL sink + a bounded in-memory tail.
+
+    The in-memory ``recent`` deque keeps the last few finished traces
+    regardless of whether a file sink is configured — tests and the
+    ``repro stats`` CLI read it; a long-running server's memory stays
+    bounded.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, path: str | None = None,
+                 keep_recent: int = 64):
+        self.sample_rate = float(sample_rate)
+        self.path = path
+        self.recent: deque = deque(maxlen=keep_recent)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._rng = random.Random(os.getpid())
+
+    def configure(self, sample_rate: float | None = None,
+                  path: str | None = None) -> None:
+        with self._lock:
+            if sample_rate is not None:
+                self.sample_rate = float(sample_rate)
+            if path is not None and path != self.path:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+                self.path = path
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def sample(self) -> bool:
+        """One branch when tracing is off; one PRNG draw when on."""
+        rate = self.sample_rate
+        if rate <= 0.0:
+            return False
+        return rate >= 1.0 or self._rng.random() < rate
+
+    def start(self, kind: str, name: str,
+              meta: dict | None = None) -> TraceContext | None:
+        if not self.sample():
+            return None
+        return TraceContext(kind, name, meta)
+
+    def finish(self, ctx: TraceContext, total_s: float | None = None,
+               **extra) -> dict:
+        """Seal a context into a JSONL record; returns the record."""
+        if total_s is None:
+            total_s = time.perf_counter() - ctx.t0
+        record = ctx.to_json(total_s, extra)
+        self.recent.append(record)
+        path = self.path
+        if path is not None:
+            line = json.dumps(record) + "\n"
+            with self._lock:
+                if self._handle is None:
+                    self._handle = open(path, "a", encoding="utf-8")
+                self._handle.write(line)
+                self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+#: The process-global tracer; off (rate 0.0) until configured.
+TRACER = Tracer()
+
+
+def configure(sample_rate: float | None = None,
+              path: str | None = None) -> Tracer:
+    """Set the global tracer's sampling rate / JSONL sink (CLI flags)."""
+    TRACER.configure(sample_rate=sample_rate, path=path)
+    return TRACER
+
+
+def start(kind: str, name: str, meta: dict | None = None):
+    return TRACER.start(kind, name, meta)
+
+
+def finish(ctx: TraceContext, total_s: float | None = None, **extra) -> dict:
+    return TRACER.finish(ctx, total_s, **extra)

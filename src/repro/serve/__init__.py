@@ -27,7 +27,7 @@ from .batcher import BatcherClosed, BatcherStats, LRUCache, MicroBatcher
 from .bench import (BenchReport, RetrievalReport, bench_full_sort_path,
                     bench_retrieval, bench_topk_path, compare_paths,
                     render_comparison, render_retrieval, request_stream,
-                    synthetic_catalog, synthetic_queries)
+                    stage_snapshots, synthetic_catalog, synthetic_queries)
 from .http import RecommendationServer, make_server, serve_forever
 from .index import CatalogIndex
 from .recommender import Recommendation, Recommender, RetrievalStats
@@ -49,6 +49,7 @@ __all__ = [
     "RecommendationServer", "make_server", "serve_forever",
     "BenchReport", "bench_topk_path", "bench_full_sort_path",
     "compare_paths", "render_comparison", "request_stream",
+    "stage_snapshots",
     "RetrievalReport", "bench_retrieval", "render_retrieval",
     "synthetic_catalog", "synthetic_queries",
 ]

@@ -31,10 +31,12 @@ recommender can fall back to exact scoring (see
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metrics
 from ..nn.cluster import hamming_distances, kmeans, sign_codes
 
 __all__ = ["AnnIndex", "AnnSearch", "IVFIndex", "LSHIndex",
@@ -77,10 +79,21 @@ class AnnIndex:
         if matrix.ndim != 2 or matrix.shape[0] < 2:
             raise ValueError("ANN index needs a (num_items+1, d) matrix "
                              f"with at least one item, got {matrix.shape}")
+        tick = time.perf_counter()
         previous = self._fitted
         state = self._fit_state(matrix[1:],
                                 None if previous is None else previous.state)
         self._fitted = _Fitted(state=state, version=int(version))
+        kind = type(self).__name__
+        metrics.counter("repro_serve_ann_fits_total",
+                        "ANN structure (re)builds",
+                        labels={"kind": kind}).inc()
+        metrics.histogram("repro_serve_ann_fit_seconds",
+                          "ANN structure build latency",
+                          labels={"kind": kind}
+                          ).observe(time.perf_counter() - tick)
+        metrics.gauge("repro_serve_ann_items", "items the ANN index covers",
+                      labels={"kind": kind}).set(matrix.shape[0] - 1)
 
     def candidates(self, query: np.ndarray, count: int) -> np.ndarray:
         """At least ``count`` candidate item ids for one query vector.

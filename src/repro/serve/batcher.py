@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics, trace
 from .recommender import Recommendation, Recommender
 
 __all__ = ["BatcherClosed", "BatcherStats", "LRUCache", "MicroBatcher"]
@@ -98,6 +99,12 @@ class _Pending:
     key: tuple
     enqueued: float = field(default_factory=time.monotonic)
     future: Future = field(default_factory=Future)
+    # Trace-context handoff: the HTTP thread that submitted this request
+    # parks its sampled context here; the batcher worker thread stamps
+    # the queue-wait and batch-stage spans into it. None (the common,
+    # unsampled case) costs the worker one attribute check.
+    trace: trace.TraceContext | None = None
+    enqueued_perf: float = 0.0
 
 
 class MicroBatcher:
@@ -111,7 +118,7 @@ class MicroBatcher:
 
     def __init__(self, recommender: Recommender, max_batch: int = 32,
                  max_wait_ms: float = 2.0, cache_size: int = 1024,
-                 start: bool = True):
+                 start: bool = True, metrics_label: str | None = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.recommender = recommender
@@ -119,6 +126,30 @@ class MicroBatcher:
         self.max_wait = max_wait_ms / 1000.0
         self.cache = LRUCache(cache_size)
         self.stats = BatcherStats()
+        # BatcherStats stays the per-instance truth (tests and /stats
+        # count one batcher generation); the registry instruments are
+        # the Prometheus view, scenario-labeled so counters continue
+        # monotonically across hot-swap generations of the same key.
+        scope = {"scenario": metrics_label or "default"}
+        self._m_requests = metrics.counter(
+            "repro_serve_batcher_requests_total",
+            "requests submitted to the micro-batcher", labels=scope)
+        self._m_cache = {
+            hit: metrics.counter("repro_serve_cache_total",
+                                 "LRU cache lookups by outcome",
+                                 labels={**scope, "outcome": hit})
+            for hit in ("hit", "miss")}
+        self._m_batch_size = metrics.histogram(
+            "repro_serve_batch_size", "requests coalesced per flush",
+            labels=scope, start=1.0, factor=2 ** 0.25)
+        self._m_flushes = {
+            kind: metrics.counter("repro_serve_flushes_total",
+                                  "batch flushes by trigger",
+                                  labels={**scope, "trigger": kind})
+            for kind in ("size", "timeout")}
+        self._m_queue_wait = metrics.histogram(
+            "repro_serve_queue_wait_seconds",
+            "submit-to-flush wait of batched requests", labels=scope)
         self._pending: list[_Pending] = []
         self._cond = threading.Condition()
         self._closed = False
@@ -135,10 +166,12 @@ class MicroBatcher:
         """Enqueue one request; resolves to a :class:`Recommendation`."""
         history = np.asarray(history, dtype=np.int64)
         key = _request_key(history, k, self.recommender.index_version)
+        ctx = trace.current()
         with self._cond:
             if self._closed:
                 raise BatcherClosed("MicroBatcher is closed")
             self.stats.requests += 1
+            self._m_requests.inc()
             # A stale index means the current version number still names
             # the pre-update snapshot: bypass the cache so the flush
             # rebuilds and the result is cached under the new version.
@@ -146,13 +179,17 @@ class MicroBatcher:
                    else self.cache.get(key))
             if hit is not None:
                 self.stats.cache_hits += 1
+                self._m_cache["hit"].inc()
                 future: Future = Future()
                 future.set_result(Recommendation(
                     items=hit.items, scores=hit.scores,
                     index_version=hit.index_version, cached=True))
                 return future
             self.stats.cache_misses += 1
-            request = _Pending(history=history, k=k, key=key)
+            self._m_cache["miss"].inc()
+            request = _Pending(history=history, k=k, key=key, trace=ctx)
+            if ctx is not None:
+                request.enqueued_perf = time.perf_counter()
             self._pending.append(request)
             self._cond.notify_all()
             return request.future
@@ -181,17 +218,39 @@ class MicroBatcher:
             self.stats.size_flushes += 1
         else:
             self.stats.timeout_flushes += 1
+        self._m_flushes[trigger].inc()
+        self._m_batch_size.observe(float(len(batch)))
+        now_mono = time.monotonic()
+        for pending in batch:
+            self._m_queue_wait.observe(now_mono - pending.enqueued)
+        # Sampled requests get a shared batch context: the model stages
+        # (encode/shortlist/rerank/topk) are recorded once against it and
+        # then copied into every traced request, because batch members
+        # genuinely share that work.
+        traced = [p for p in batch if p.trace is not None]
+        batch_ctx: trace.TraceContext | None = None
+        if traced:
+            flush_tick = time.perf_counter()
+            for pending in traced:
+                pending.trace.add_span("queue_wait", pending.enqueued_perf,
+                                       flush_tick)
+            batch_ctx = trace.TraceContext(
+                "batch", "micro_batch", meta={"batch_size": len(batch)})
         # All requests in a batch share one k so the top-k pass is a single
         # matrix operation; mixed-k batches use the largest and truncate.
         k_max = max(p.k for p in batch)
         try:
-            results = self.recommender.recommend_batch(
-                [p.history for p in batch], k=k_max)
+            with trace.activate(batch_ctx):
+                results = self.recommender.recommend_batch(
+                    [p.history for p in batch], k=k_max)
         except Exception as exc:  # propagate to every waiter
             for pending in batch:
                 if not pending.future.cancelled():
                     pending.future.set_exception(exc)
             return
+        if batch_ctx is not None:
+            for pending in traced:
+                pending.trace.extend(batch_ctx.spans)
         for pending, result in zip(batch, results):
             if pending.k < len(result.items):
                 result = Recommendation(items=result.items[:pending.k],

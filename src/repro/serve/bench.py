@@ -15,11 +15,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.ops import topk
+from ..obs import metrics
 from .ann import AnnIndex
 from .recommender import Recommender
 
 __all__ = ["BenchReport", "bench_topk_path", "bench_full_sort_path",
            "compare_paths", "request_stream", "render_comparison",
+           "stage_snapshots",
            "RetrievalReport", "synthetic_catalog", "synthetic_queries",
            "bench_retrieval", "render_retrieval"]
 
@@ -130,17 +132,46 @@ def bench_full_sort_path(recommender: Recommender,
                    total)
 
 
+def stage_snapshots(before: dict | None = None,
+                    prefix: str = "repro_serve_") -> dict:
+    """Registry histograms under ``prefix``, optionally diffed vs ``before``.
+
+    With ``before=None``, returns ``{(name, labelset): HistogramSnapshot}``
+    — the "before" marker. Called again with that marker, returns only
+    what the run in between observed (``minus``), as JSON summaries in
+    milliseconds (sizes stay unscaled). This is how bench reports carve
+    per-run breakdowns out of process-lifetime instruments.
+    """
+    current = {}
+    for hist in metrics.REGISTRY.histograms(prefix):
+        label = ",".join(f"{k}={v}" for k, v in hist.label_key)
+        current[(hist.name, label)] = hist.snapshot()
+    if before is None:
+        return current
+    out = {}
+    for key, snap in current.items():
+        delta = snap.minus(before[key]) if key in before else snap
+        if delta.total > 0:
+            name, label = key
+            scale = 1.0 if name.endswith(("_size", "_depth")) else 1e3
+            out[f"{name}{{{label}}}" if label else name] = \
+                delta.to_json(scale=scale)
+    return out
+
+
 def compare_paths(recommender: Recommender, histories: list[np.ndarray],
                   k: int = 10, batch_size: int = 32) -> dict:
     """Run both paths on the same request stream; returns both reports."""
     recommender.refresh()      # index build paid up front, outside timing
+    before = stage_snapshots()
     batched = bench_topk_path(recommender, histories, k=k,
                               batch_size=batch_size)
+    stages = stage_snapshots(before)
     sequential = bench_full_sort_path(recommender, histories, k=k)
     speedup = (sequential.total_s / batched.total_s
                if batched.total_s > 0 else float("inf"))
     return {"batched": batched, "sequential": sequential,
-            "throughput_speedup": speedup}
+            "throughput_speedup": speedup, "stages": stages}
 
 
 # -- retrieval-layer benchmark (exact vs IVF vs LSH) -------------------------
@@ -284,4 +315,15 @@ def render_comparison(comparison: dict, title: str = "serve benchmark") -> str:
                      f"{report.p99_ms:>8.2f} {report.qps:>8.1f}")
     lines.append(f"throughput speedup (batched top-k vs sequential "
                  f"full sort): {comparison['throughput_speedup']:.2f}x")
+    stages = comparison.get("stages") or {}
+    stage_rows = sorted(
+        (name.split("stage=")[1].rstrip("}"), summary)
+        for name, summary in stages.items()
+        if name.startswith("repro_serve_stage_seconds"))
+    if stage_rows:
+        lines.append(f"{'stage':<12} {'count':>6} {'p50 ms':>8} "
+                     f"{'p99 ms':>8} {'mean ms':>8}")
+        for stage, s in stage_rows:
+            lines.append(f"{stage:<12} {s['count']:>6} {s['p50']:>8.3f} "
+                         f"{s['p99']:>8.3f} {s['mean']:>8.3f}")
     return "\n".join(lines)

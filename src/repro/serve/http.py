@@ -11,7 +11,11 @@ Endpoint contract (all bodies JSON):
     list of scenario descriptors (dataset, model, catalogue size, index
     version/bytes)
 ``GET /stats``
-    per-scenario micro-batcher counters + service settings
+    per-scenario micro-batcher counters + latency quantiles + service
+    settings
+``GET /metrics``
+    Prometheus text exposition of the process metrics registry
+    (``repro.obs.metrics``) — serving, streaming and profiling series
 ``POST /recommend``
     request ``{"dataset": str, "model": str, "history": [int, ...],
     "k": int?}`` → ``{"items": [...], "scores": [...],
@@ -39,12 +43,20 @@ from __future__ import annotations
 import json
 import sys
 import threading
+import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs import metrics, trace
 from .service import RecommendationService
 
 __all__ = ["RecommendationServer", "make_server", "serve_forever"]
+
+#: Routes counted individually on ``repro_http_requests_total``; anything
+#: else collapses into ``other`` so label cardinality stays bounded no
+#: matter what paths clients probe.
+_KNOWN_ROUTES = frozenset({"/health", "/scenarios", "/stats", "/metrics",
+                           "/recommend", "/refresh", "/events", "/swap"})
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,8 +69,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, payload: dict | list, status: int = 200) -> None:
         body = json.dumps(payload).encode()
+        self._send_bytes(body, "application/json", status)
+
+    def _send_bytes(self, body: bytes, content_type: str,
+                    status: int = 200) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -103,6 +120,31 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._observed(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._observed(self._route_post)
+
+    def _observed(self, route) -> None:
+        """Time one request, count it, and emit the access-log line."""
+        tick = time.perf_counter()
+        self._last_status = 0       # left 0 if the handler dies mid-write
+        self._trace_id = None
+        try:
+            route()
+        finally:
+            elapsed = time.perf_counter() - tick
+            path = self.path if self.path in _KNOWN_ROUTES else "other"
+            metrics.counter(
+                "repro_http_requests_total", "HTTP requests served",
+                labels={"path": path, "method": self.command,
+                        "status": str(self._last_status)}).inc()
+            self.server.log_access(
+                method=self.command, path=self.path,
+                status=self._last_status, latency_ms=elapsed * 1e3,
+                trace_id=self._trace_id)
+
+    def _route_get(self) -> None:
         service = self.server.service
         try:
             if self.path == "/health":
@@ -112,28 +154,56 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(service.scenarios())
             elif self.path == "/stats":
                 self._send(service.stats())
+            elif self.path == "/metrics":
+                self._send_bytes(metrics.render_prometheus().encode(),
+                                 "text/plain; version=0.0.4")
             else:
                 self._error(f"unknown route {self.path!r}", 404)
         except Exception as exc:  # noqa: BLE001 - boundary of the server
             self._internal_error(exc)
 
-    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+    def _recommend(self, payload: dict, t_request: float,
+                   t_parsed: float) -> None:
+        """The traced hot route: parse → (batcher) → respond spans."""
         service = self.server.service
+        history = payload.get("history")
+        if not isinstance(history, list) or not history:
+            raise ValueError("'history' must be a non-empty list "
+                             "of item ids")
+        dataset = str(payload.get("dataset", ""))
+        model = str(payload.get("model", ""))
+        ctx = trace.start("request", "/recommend",
+                          meta={"scenario": f"{dataset}:{model}"})
+        if ctx is not None:
+            # Re-anchor the trace at socket-read time so the parse span
+            # (which predates the sampling decision) sits inside it.
+            ctx.t0 = t_request
+            ctx.add_span("parse", t_request, t_parsed)
+            self._trace_id = ctx.trace_id
+        with trace.activate(ctx):
+            result = service.recommend(dataset, model, history,
+                                       k=int(payload.get("k", 10)))
+        if ctx is None:
+            self._send(result)
+            return
+        result["trace_id"] = ctx.trace_id
+        t_respond = time.perf_counter()
+        self._send(result)
+        done = time.perf_counter()
+        ctx.add_span("respond", t_respond, done)
+        trace.finish(ctx, done - t_request, status=200)
+
+    def _route_post(self) -> None:
+        service = self.server.service
+        t_request = time.perf_counter()
         try:
             payload = self._read_json()
         except ValueError as exc:
             return self._error(str(exc), 400)
+        t_parsed = time.perf_counter()
         try:
             if self.path == "/recommend":
-                history = payload.get("history")
-                if not isinstance(history, list) or not history:
-                    raise ValueError("'history' must be a non-empty list "
-                                     "of item ids")
-                result = service.recommend(
-                    str(payload.get("dataset", "")),
-                    str(payload.get("model", "")),
-                    history, k=int(payload.get("k", 10)))
-                self._send(result)
+                self._recommend(payload, t_request, t_parsed)
             elif self.path == "/refresh":
                 version = service.refresh(str(payload.get("dataset", "")),
                                           str(payload.get("model", "")))
@@ -171,10 +241,40 @@ class RecommendationServer(ThreadingHTTPServer):
     request_queue_size = 128
 
     def __init__(self, service: RecommendationService,
-                 address: tuple[str, int], verbose: bool = False):
+                 address: tuple[str, int], verbose: bool = False,
+                 access_log: str | None = None):
         self.service = service
         self.verbose = verbose
+        self.access_log = access_log
+        self._access_handle = None
+        self._access_lock = threading.Lock()
         super().__init__(address, _Handler)
+
+    def log_access(self, **record) -> None:
+        """Append one structured access-log line (JSONL) if enabled.
+
+        Replaces the silent ``log_message`` suppression: operators opt in
+        with ``--access-log PATH`` and get machine-parseable lines
+        (method, path, status, latency_ms, trace_id) instead of the
+        stdlib's stderr format or nothing.
+        """
+        if self.access_log is None:
+            return
+        record = {"time": time.time(), **record}
+        line = json.dumps(record) + "\n"
+        with self._access_lock:
+            if self._access_handle is None:
+                self._access_handle = open(self.access_log, "a",
+                                           encoding="utf-8")
+            self._access_handle.write(line)
+            self._access_handle.flush()
+
+    def server_close(self) -> None:
+        super().server_close()
+        with self._access_lock:
+            if self._access_handle is not None:
+                self._access_handle.close()
+                self._access_handle = None
 
     @property
     def url(self) -> str:
@@ -190,15 +290,19 @@ class RecommendationServer(ThreadingHTTPServer):
 
 
 def make_server(service: RecommendationService, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> RecommendationServer:
+                port: int = 0, verbose: bool = False,
+                access_log: str | None = None) -> RecommendationServer:
     """Bind (port 0 picks a free ephemeral port) without serving yet."""
-    return RecommendationServer(service, (host, port), verbose=verbose)
+    return RecommendationServer(service, (host, port), verbose=verbose,
+                                access_log=access_log)
 
 
 def serve_forever(service: RecommendationService, host: str = "127.0.0.1",
-                  port: int = 8765, verbose: bool = True) -> None:
+                  port: int = 8765, verbose: bool = True,
+                  access_log: str | None = None) -> None:
     """Blocking entry point used by ``repro serve``."""
-    server = make_server(service, host=host, port=port, verbose=verbose)
+    server = make_server(service, host=host, port=port, verbose=verbose,
+                        access_log=access_log)
     print(f"serving {len(service.registry)} scenario(s) on {server.url}")
     for line in service.scenarios():
         print(f"  {line['dataset']}:{line['model']} "

@@ -20,10 +20,12 @@ counts every routing decision in :attr:`retrieval_stats`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from ..nn.ops import topk
+from ..obs import metrics, trace
 from .ann import AnnIndex, make_ann_index
 from .index import CatalogIndex
 from .scoring import (encode_queries, model_max_len, score_batch,
@@ -31,6 +33,25 @@ from .scoring import (encode_queries, model_max_len, score_batch,
 
 __all__ = ["Recommendation", "Recommender", "RetrievalStats",
            "DEFAULT_MIN_ANN_ITEMS"]
+
+# Per-stage latency histograms, recorded once per *batch* (a handful of
+# perf_counter calls amortized over the whole flush — the per-request
+# cost budget lives in benchmarks/test_obs_perf.py). A sampled request
+# additionally gets the same boundaries stamped into its trace context
+# as spans, at zero extra timing cost.
+_STAGES = ("encode", "shortlist", "rerank", "topk", "score", "mask")
+_STAGE_HIST = {name: metrics.histogram(
+    "repro_serve_stage_seconds",
+    "per-batch serving stage latency", labels={"stage": name})
+    for name in _STAGES}
+
+
+def _stage(name: str, start: float, end: float,
+           ctx: trace.TraceContext | None) -> None:
+    """Record one stage boundary: histogram always, span when sampled."""
+    _STAGE_HIST[name].observe(end - start)
+    if ctx is not None:
+        ctx.add_span(name, start, end)
 
 #: Below this catalogue size exact scoring is both safer and faster than
 #: any shortlist (one small matmul beats candidate bookkeeping).
@@ -73,10 +94,19 @@ class RetrievalStats:
     def record(self, used_ann: bool, reason: str | None) -> None:
         if used_ann:
             self.ann_batches += 1
+            metrics.counter("repro_serve_batches_total",
+                            "scored batches by retrieval path",
+                            labels={"path": "ann"}).inc()
         else:
             self.exact_batches += 1
+            metrics.counter("repro_serve_batches_total",
+                            "scored batches by retrieval path",
+                            labels={"path": "exact"}).inc()
             if reason is not None:
                 self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+                metrics.counter("repro_serve_ann_fallbacks_total",
+                                "exact-scoring fallbacks by reason",
+                                labels={"reason": reason}).inc()
 
     def to_json(self) -> dict:
         return {"ann_batches": self.ann_batches,
@@ -247,22 +277,42 @@ class Recommender:
             return None, "stale_index"
         if ann.index.kind != self.retrieval:
             return None, "backend_mismatch"
+        ctx = trace.current()
+        tick = perf_counter()
         queries = encode_queries(self.model, matrix, histories,
                                  max_seq_len=self._max_len)
+        _stage("encode", tick, perf_counter(), ctx)
         out = []
+        t_short = t_rerank = t_topk = 0.0
         for query, history in zip(queries, histories):
             needed = k + (len(history) if self.exclude_seen else 0)
+            t0 = perf_counter()
             candidates = ann.candidates(query, needed)
+            t1 = perf_counter()
             scores = matrix[candidates] @ query
             if self.exclude_seen:
                 keep = ~np.isin(candidates, history)
                 candidates, scores = candidates[keep], scores[keep]
+            t2 = perf_counter()
             values, order = topk(scores, min(k, len(scores)) or 1)
+            t3 = perf_counter()
+            t_short += t1 - t0
+            t_rerank += t2 - t1
+            t_topk += t3 - t2
             items = candidates[order]
             items.setflags(write=False)
             values.setflags(write=False)
             out.append(Recommendation(items=items, scores=values,
                                       index_version=version))
+        # The per-row stage times interleave; report them as contiguous
+        # synthetic intervals ending at the batch end — durations (what
+        # histograms and span sums consume) are exact, only the span
+        # offsets are condensed.
+        end = perf_counter()
+        _stage("shortlist", end - t_short - t_rerank - t_topk,
+               end - t_rerank - t_topk, ctx)
+        _stage("rerank", end - t_rerank - t_topk, end - t_topk, ctx)
+        _stage("topk", end - t_topk, end, ctx)
         return out, None
 
     # -- request API ---------------------------------------------------------
@@ -287,11 +337,16 @@ class Recommender:
                 self.retrieval_stats.record(True, None)
                 return results
         self.retrieval_stats.record(False, reason)
+        ctx = trace.current()
+        tick = perf_counter()
         raw, version = self._score_snapshot(histories)
+        _stage("score", tick, (tick := perf_counter()), ctx)
         scores = self._mask_scores(raw, histories,
                                    owned=(self.index is not None
                                           and self._use_kernel))
+        _stage("mask", tick, (tick := perf_counter()), ctx)
         values, indices = topk(scores, k)
+        _stage("topk", tick, perf_counter(), ctx)
         out = []
         for row in range(len(histories)):
             keep = np.isfinite(values[row])  # drop excluded/padding slots

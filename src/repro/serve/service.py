@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs import metrics, trace
 from .batcher import BatcherClosed, MicroBatcher
 from .recommender import Recommendation
 from .registry import ModelRegistry, Scenario
@@ -44,6 +45,27 @@ class RecommendationService:
         self._lock = threading.Lock()
         self._swap_race_retries = 0
         self._closed = False
+        # End-to-end latency per scenario lives in log-bucketed histograms:
+        # /stats reads p50/p99 in O(1) over ~64 buckets instead of sorting
+        # an ever-growing latency list (the pre-obs implementation kept
+        # raw per-request floats).
+        self._latency: dict[tuple[str, str], metrics.Histogram] = {}
+        self._m_swap_races = metrics.counter(
+            "repro_serve_swap_race_retries_total",
+            "requests retried because they raced a hot swap")
+
+    def _latency_hist(self, dataset: str, model: str) -> metrics.Histogram:
+        key = (dataset, model)
+        hist = self._latency.get(key)
+        if hist is None:
+            # Registry get-or-create is idempotent, so a benign double
+            # create under race just returns the same instrument.
+            hist = metrics.histogram(
+                "repro_serve_request_seconds",
+                "end-to-end recommend() latency",
+                labels={"scenario": f"{dataset}:{model}"})
+            self._latency[key] = hist
+        return hist
 
     # -- internals -----------------------------------------------------------
 
@@ -63,7 +85,8 @@ class RecommendationService:
                 existing = MicroBatcher(
                     scenario.recommender, max_batch=self.max_batch,
                     max_wait_ms=self.max_wait_ms, cache_size=self.cache_size,
-                    start=self.batching)
+                    start=self.batching,
+                    metrics_label=f"{key[0]}:{key[1]}")
                 self._batchers[key] = existing
             return existing
 
@@ -94,9 +117,15 @@ class RecommendationService:
                 # frequent requests keep landing on retiring batchers.
                 with self._lock:
                     self._swap_race_retries += 1
+                self._m_swap_races.inc()
+        elapsed = time.perf_counter() - start
+        self._latency_hist(dataset, model).observe(elapsed)
+        ctx = trace.current()
+        if ctx is not None:
+            ctx.meta.setdefault("cached", result.cached)
         payload = result.to_json()
         payload.update(dataset=dataset, model=model,
-                       latency_ms=(time.perf_counter() - start) * 1e3)
+                       latency_ms=elapsed * 1e3)
         return payload
 
     def refresh(self, dataset: str, model: str) -> int:
@@ -157,6 +186,9 @@ class RecommendationService:
             counters = batcher.stats.to_json()
             counters["retrieval"] = \
                 batcher.recommender.describe_retrieval()
+            hist = self._latency.get((d, m))
+            if hist is not None and hist.count:
+                counters["latency_ms"] = hist.snapshot().to_json(scale=1e3)
             per_scenario[f"{d}:{m}"] = counters
         with self._lock:
             swap_races = self._swap_race_retries

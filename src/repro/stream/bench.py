@@ -32,7 +32,7 @@ from ..data import get_world, platform_for
 from ..data.catalog import (_STYLE_TOKEN_TOTAL, MAX_TEXT_LEN, TEXT_OFFSET,
                             text_vocab_size)
 from ..serve import ModelRegistry, RecommendationService, Recommender
-from ..serve.bench import request_stream
+from ..serve.bench import request_stream, stage_snapshots
 from .manager import StreamManager
 from .worker import StreamConfig
 
@@ -221,6 +221,7 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
     service.attach_stream(manager)
     worker = manager.worker(dataset_name, model_name)
     histories = request_stream(scenario.dataset, 256, seed=seed)
+    obs_before = stage_snapshots(prefix="repro_stream_")
 
     # -- continuous client load ----------------------------------------------
     stop = threading.Event()
@@ -290,6 +291,13 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
     recall = _ann_recall_vs_exact(final, recall_pool, k=k)
     cold_ranks = _cold_item_ranks(final, cold_ids, cold_topics, rng)
     stream_stats = worker.stats_json()
+    # Only this run's observations: swap-phase timings (pre-warm, index
+    # build, gate, publish, drain) carved out of the registry histograms.
+    obs_delta = stage_snapshots(obs_before, prefix="repro_stream_")
+    swap_phases = {
+        name.split("phase=")[1].rstrip("}"): summary
+        for name, summary in obs_delta.items()
+        if name.startswith("repro_stream_swap_phase_seconds")}
     service.close()
 
     lat_ms = np.asarray(latencies) * 1e3
@@ -312,6 +320,7 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
         "final_version": int(final.recommender.index_version),
         "final_swap": final_report,
         "stream": stream_stats,
+        "swap_phases": swap_phases,
         "cold_item_ids": [int(i) for i in cold_ids],
         "cold_item_ranks": cold_ranks,
         "cold_in_top10": int(sum(r <= 10 for r in cold_ranks)),
@@ -383,6 +392,11 @@ def render_stream_report(report: dict,
     if report["ann_recall_at_k"] is not None:
         lines.append(f"ann recall@{report['k']}       "
                      f"{report['ann_recall_at_k']:.4f} vs exact, post-swap")
+    phases = report.get("swap_phases") or {}
+    if phases:
+        lines.append("swap phases         "
+                     + "  ".join(f"{name} {s['mean']:.1f}ms"
+                                 for name, s in phases.items()))
     if report["requests_dropped"]:
         lines.append(f"dropped errors      {report['errors']}")
     return "\n".join(lines)

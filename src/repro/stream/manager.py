@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 
+from ..obs import metrics
 from .events import parse_events
 from .worker import FineTuneWorker, StreamConfig
 
@@ -36,6 +37,9 @@ class StreamManager:
                     service, key, config=self.config, start=start)
             except TypeError as exc:
                 self._unstreamable[f"{key[0]}:{key[1]}"] = str(exc)
+        metrics.gauge("repro_stream_workers",
+                      "streaming scenarios with a live fine-tune worker"
+                      ).set_function(lambda: len(self._workers))
 
     def __len__(self) -> int:
         return len(self._workers)

@@ -53,12 +53,12 @@ import os
 import sys
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from .. import nn
+from ..obs import metrics, trace
 from ..data.batching import pad_sequences
 from ..data.catalog import MAX_SEQ_LEN, text_vocab_size
 from ..data.splits import EvalExample
@@ -139,13 +139,16 @@ class _Counters:
     last_loss: float = float("nan")
     last_rejection: dict | None = None
     last_shadow: dict | None = None
-    # Bounded: a long-lived server swapping for weeks must not grow this
-    # (or the /stats percentile pass) without limit.
-    swap_latencies_ms: deque = field(
-        default_factory=lambda: deque(maxlen=4096))
+    swap_last_ms: float = float("nan")
     round_errors: int = 0
     last_error: str | None = None
     last_error_type: str | None = None
+
+
+#: Swap phases, in execution order. Each gets a span on a sampled swap
+#: trace and a ``repro_stream_swap_phase_seconds{phase=...}`` histogram.
+SWAP_PHASES = ("snapshot", "pre_warm", "index_build", "gate",
+               "checkpoint", "publish", "drain")
 
 
 class FineTuneWorker:
@@ -226,6 +229,53 @@ class FineTuneWorker:
         self._baseline: dict | None = None
 
         self.counters = _Counters()
+        # Registry mirror (Prometheus view on /metrics): counters are
+        # scenario-labeled and monotonic across worker generations;
+        # _Counters stays the per-instance truth behind stats_json().
+        scope = {"scenario": f"{key[0]}:{key[1]}"}
+        self._m_events = {
+            kind: metrics.counter("repro_stream_events_total",
+                                  "ingested events by kind",
+                                  labels={**scope, "kind": kind})
+            for kind in ("interaction", "cold_item")}
+        self._m_steps = metrics.counter(
+            "repro_stream_steps_total", "incremental fine-tune steps",
+            labels=scope)
+        self._m_rounds = metrics.counter(
+            "repro_stream_rounds_total", "fine-tune rounds completed",
+            labels=scope)
+        self._m_round_errors = metrics.counter(
+            "repro_stream_round_errors_total",
+            "fine-tune rounds that raised", labels=scope)
+        self._m_gate_evals = metrics.counter(
+            "repro_stream_gate_evals_total", "eval-gate runs", labels=scope)
+        self._m_swaps = {
+            kind: metrics.counter("repro_stream_swaps_total",
+                                  "hot-swap attempts by outcome",
+                                  labels={**scope, "kind": kind})
+            for kind in ("full", "catalog", "skipped", "rejected", "shadow")}
+        self._m_round_seconds = metrics.histogram(
+            "repro_stream_round_seconds", "fine-tune round duration",
+            labels=scope)
+        self._m_swap_seconds = metrics.histogram(
+            "repro_stream_swap_seconds", "published hot-swap latency",
+            labels=scope)
+        self._m_swap_phase = {
+            name: metrics.histogram("repro_stream_swap_phase_seconds",
+                                    "hot-swap phase latency",
+                                    labels={**scope, "phase": name})
+            for name in SWAP_PHASES}
+        metrics.gauge("repro_stream_buffer_depth",
+                      "replay-buffer histories held",
+                      labels=scope).set_function(lambda: len(self.replay))
+        metrics.gauge("repro_stream_catalogue_items",
+                      "catalogue size including cold items",
+                      labels=scope).set_function(lambda: self.data.num_items)
+        # Per-instance (unregistered) swap-latency histogram: stats_json
+        # reads p50/p99 from its ~64 buckets in O(1) — the bounded deque
+        # + percentile pass it replaces — without bleeding another
+        # worker generation's swaps into this worker's numbers.
+        self._swap_hist = metrics.Histogram("swap_latency_seconds")
         self._published_items = scenario.dataset.num_items
         self._started = time.time()
         self._last_swap_time = self._started
@@ -345,6 +395,8 @@ class FineTuneWorker:
                 self.counters.cold_items += cold
                 self.counters.new_users += new_users
                 self.counters.held_out += held
+            self._m_events["interaction"].inc(interactions)
+            self._m_events["cold_item"].inc(cold)
             receipt = {"accepted": len(events),
                        "interactions": interactions,
                        "cold_items": cold,
@@ -458,6 +510,7 @@ class FineTuneWorker:
                     self.counters.last_error = \
                         f"{type(exc).__name__}: {exc}"
                     self.counters.last_error_type = type(exc).__name__
+                self._m_round_errors.inc()
                 time.sleep(0.1)      # don't spin if the failure persists
 
     def _round(self) -> None:
@@ -470,6 +523,7 @@ class FineTuneWorker:
         propagates — a later swap can therefore never publish a
         half-applied update.
         """
+        tick = time.perf_counter()
         with self._work_lock:
             guard = self._round_guard()
             try:
@@ -480,6 +534,8 @@ class FineTuneWorker:
                 self._round_rollback(guard)
                 raise
             self._swap_locked()
+        self._m_rounds.inc()
+        self._m_round_seconds.observe(time.perf_counter() - tick)
 
     def _round_guard(self) -> dict:
         """Pre-round snapshot of everything a failed round may corrupt."""
@@ -505,6 +561,7 @@ class FineTuneWorker:
             self.counters.steps += 1
             self.counters.last_loss = loss
             self._steps_since_swap += 1
+        self._m_steps.inc()
         return True
 
     # -- the eval gate -------------------------------------------------------
@@ -704,14 +761,27 @@ class FineTuneWorker:
 
     def _swap_impl(self) -> SwapReport:
         start = time.perf_counter()
+        ctx = trace.start("swap", f"{self.key[0]}:{self.key[1]}")
+        if ctx is not None:
+            ctx.t0 = start
+
+        def phase(name: str, t0: float, t1: float) -> None:
+            self._m_swap_phase[name].observe(t1 - t0)
+            if ctx is not None:
+                ctx.add_span(name, t0, t1)
+
         with self._ingest_lock:
             snapshot = self.data.snapshot()
             new_ids = self.data.new_item_ids(self._published_items)
             events_total = self.log.total
             examples = self._eval_examples()
+        phase("snapshot", start, time.perf_counter())
         steps = self._steps_since_swap
         old = self.registry.get(*self.key)
         if steps == 0 and new_ids.size == 0:
+            self._m_swaps["skipped"].inc()
+            if ctx is not None:
+                trace.finish(ctx, swap_kind="skipped")
             return SwapReport(version=old.recommender.index_version,
                               kind="skipped", steps=0, new_items=0,
                               reencoded_items=0, latency_ms=0.0)
@@ -724,6 +794,7 @@ class FineTuneWorker:
             # serving model and re-encode only the new items. Nothing to
             # gate either — the weights are bitwise the serving weights.
             kind, model = "catalog", old.model
+            tick = time.perf_counter()
             index = CatalogIndex(model, snapshot, dtype=registry.dtype,
                                  start_version=old.recommender.index_version)
             if old.recommender.index is not None \
@@ -734,12 +805,15 @@ class FineTuneWorker:
             else:
                 index.refresh()
                 reencoded = snapshot.num_items
+            phase("index_build", tick, time.perf_counter())
         else:
             kind = "full"
+            tick = time.perf_counter()
             model = build_model(self.spec.model, snapshot,
                                 seed=self.spec.seed)
             model.to_dtype(self.shadow.param_dtype)
             model.load_state_dict(self.shadow.state_dict())
+            phase("pre_warm", tick, (tick := time.perf_counter()))
             # Encode the publish index *before* the gate: the candidate
             # is then gated against the exact matrix that would serve
             # it, and the catalogue encode is paid once — shared by the
@@ -748,6 +822,7 @@ class FineTuneWorker:
                                  start_version=old.recommender.index_version)
             index.refresh()
             reencoded = snapshot.num_items
+            phase("index_build", tick, time.perf_counter())
             if self.config.eval_gate or self.config.shadow_mode:
                 # The serving side can reuse the live index's matrix
                 # when the catalogue has not grown since it was built.
@@ -757,12 +832,15 @@ class FineTuneWorker:
                     base_matrix = base.snapshot()[0]
                     if base_matrix.shape[0] == snapshot.num_items + 1:
                         serving_catalog = base_matrix
+                tick = time.perf_counter()
                 verdict = self._gate_evaluate(model, old.model, snapshot,
                                               examples, index.snapshot()[0],
                                               serving_catalog)
+                phase("gate", tick, time.perf_counter())
                 gate_summary = self._gate_summary(verdict)
                 with self._stats_lock:
                     self.counters.gate_evals += 1
+                self._m_gate_evals.inc()
                 if self.config.shadow_mode:
                     # Keep serving the old generation unconditionally;
                     # the candidate's ranks go to the diff log and the
@@ -773,6 +851,9 @@ class FineTuneWorker:
                         self.counters.shadow_evals += 1
                         self.counters.last_shadow = dict(
                             gate_summary, steps=steps, time=time.time())
+                    self._m_swaps["shadow"].inc()
+                    if ctx is not None:
+                        trace.finish(ctx, latency_ms / 1e3, swap_kind="shadow")
                     return SwapReport(
                         version=old.recommender.index_version,
                         kind="shadow", steps=steps,
@@ -790,6 +871,9 @@ class FineTuneWorker:
                         self.counters.last_rejection = rejection
                         if self.config.gate_reset_on_reject:
                             self._steps_since_swap = 0
+                    self._m_swaps["rejected"].inc()
+                    if ctx is not None:
+                        trace.finish(ctx, latency_ms / 1e3, swap_kind="rejected")
                     return SwapReport(
                         version=old.recommender.index_version,
                         kind="rejected", steps=steps,
@@ -804,21 +888,33 @@ class FineTuneWorker:
                     "catalog": index.snapshot()[0],
                     "ranks": {id(ex): (ex, int(rank)) for ex, rank in
                               zip(examples, verdict["_candidate_ranks"])}}
+            tick = time.perf_counter()
             checkpoint = self._save_checkpoint(steps)
+            phase("checkpoint", tick, time.perf_counter())
+        tick = time.perf_counter()
         recommender = registry.build_recommender(model, snapshot,
                                                  index=index)
         scenario = Scenario(spec=self.spec, dataset=snapshot, model=model,
                             recommender=recommender)
         registry.publish(scenario)
+        phase("publish", tick, (tick := time.perf_counter()))
         self.service.retire_batcher(self.key)
-        latency_ms = (time.perf_counter() - start) * 1e3
+        done = time.perf_counter()
+        phase("drain", tick, done)
+        latency_ms = (done - start) * 1e3
         self._published_items = snapshot.num_items
         with self._stats_lock:
             self._steps_since_swap = 0
             self._events_at_last_swap = events_total
             self._last_swap_time = time.time()
             self.counters.swaps += 1
-            self.counters.swap_latencies_ms.append(latency_ms)
+            self.counters.swap_last_ms = latency_ms
+        self._m_swaps[kind].inc()
+        self._swap_hist.observe(latency_ms / 1e3)
+        self._m_swap_seconds.observe(latency_ms / 1e3)
+        if ctx is not None:
+            trace.finish(ctx, latency_ms / 1e3, swap_kind=kind,
+                         version=index.version, steps=steps)
         return SwapReport(version=index.version, kind=kind, steps=steps,
                           new_items=int(new_ids.size),
                           reencoded_items=reencoded,
@@ -856,7 +952,7 @@ class FineTuneWorker:
         with self._stats_lock:
             counters = self.counters
             events_total = self.log.total
-            latencies = list(counters.swap_latencies_ms)
+            swap_last_ms = counters.swap_last_ms
             snap = {"events_total": events_total,
                     "interactions": counters.interactions,
                     "cold_items": counters.cold_items,
@@ -893,11 +989,13 @@ class FineTuneWorker:
             "replay_bias": self.replay.bias,
             "index_version":
             self.registry.get(*self.key).recommender.index_version})
-        if latencies:
-            arr = np.asarray(latencies)
-            snap["swap_p50_ms"] = float(np.percentile(arr, 50))
-            snap["swap_p99_ms"] = float(np.percentile(arr, 99))
-            snap["swap_last_ms"] = float(arr[-1])
+        # O(1) over the histogram's ~64 buckets, however long the worker
+        # has been swapping (the pre-obs deque needed a percentile pass).
+        swap_snap = self._swap_hist.snapshot()
+        if swap_snap.total:
+            snap["swap_p50_ms"] = float(swap_snap.quantile(0.50) * 1e3)
+            snap["swap_p99_ms"] = float(swap_snap.quantile(0.99) * 1e3)
+            snap["swap_last_ms"] = float(swap_last_ms)
         return snap
 
     # -- lifecycle -----------------------------------------------------------

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import nn
+from ..obs import prof
 from ..data.batching import batch_iterator
 from ..data.catalog import SeqDataset
 from ..eval.evaluator import evaluate_model
@@ -113,12 +114,16 @@ class Trainer:
             self.model.train()
         with self._fusion_scope():
             self.optimizer.zero_grad()
-            loss, _ = self.model.training_loss(
-                self.dataset, item_ids, mask,
-                pretraining=self.pretraining)
-            loss.backward()
-            nn.clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
-            self.optimizer.step()
+            with prof.section("train.forward"):
+                loss, _ = self.model.training_loss(
+                    self.dataset, item_ids, mask,
+                    pretraining=self.pretraining)
+            with prof.section("train.backward"):
+                loss.backward()
+            with prof.section("train.clip"):
+                nn.clip_grad_norm(self.optimizer.parameters, cfg.clip_norm)
+            with prof.section("train.optimizer_step"):
+                self.optimizer.step()
             if self.schedule is not None:
                 self.schedule.step()
         return float(loss.data)

@@ -1,0 +1,233 @@
+"""Metrics registry: shard safety, quantile accuracy, exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (DEFAULT_FACTOR, Histogram, MetricsRegistry,
+                               parse_prometheus)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+# -- counters / thread sharding ------------------------------------------------
+
+
+def test_counter_accumulates_and_is_monotonic(registry):
+    c = registry.counter("reqs_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    assert registry.counter("reqs_total") is c   # get-or-create
+
+
+def test_counter_multithread_hammer_no_lost_updates(registry):
+    """N threads x M increments: the merged total is exact, and a
+    concurrent reader only ever sees the value go up."""
+    c = registry.counter("hammer_total")
+    threads, per_thread = 8, 20_000
+    monotonic_ok = [True]
+    stop = threading.Event()
+
+    def reader():
+        last = 0.0
+        while not stop.is_set():
+            now = c.value
+            if now < last:
+                monotonic_ok[0] = False
+            last = now
+
+    def writer():
+        for _ in range(per_thread):
+            c.inc()
+
+    watcher = threading.Thread(target=reader)
+    watcher.start()
+    workers = [threading.Thread(target=writer) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    stop.set()
+    watcher.join()
+    assert c.value == threads * per_thread
+    assert monotonic_ok[0], "reader observed a counter decrease"
+
+
+def test_histogram_multithread_hammer_no_torn_merges(registry):
+    hist = registry.histogram("hammer_seconds")
+    threads, per_thread = 8, 5_000
+
+    def writer(seed):
+        rng = np.random.default_rng(seed)
+        for value in rng.uniform(1e-4, 1e-1, size=per_thread):
+            hist.observe(float(value))
+
+    workers = [threading.Thread(target=writer, args=(i,))
+               for i in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    snap = hist.snapshot()
+    assert snap.total == threads * per_thread
+    assert sum(snap.counts) == snap.total
+    assert 1e-4 * snap.total < snap.sum < 1e-1 * snap.total
+
+
+# -- histogram quantile accuracy ----------------------------------------------
+
+
+@pytest.mark.parametrize("dist", ["uniform", "lognormal", "exponential"])
+@pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+def test_quantile_tracks_numpy_percentile(registry, dist, q):
+    """Geometric-midpoint estimates stay within the bucket-width bound
+    (a factor of sqrt(factor) each way at the default sqrt(2) layout)."""
+    rng = np.random.default_rng(7)
+    values = {"uniform": rng.uniform(1e-4, 2e-1, 50_000),
+              "lognormal": rng.lognormal(-6.0, 1.0, 50_000),
+              "exponential": rng.exponential(5e-3, 50_000)}[dist]
+    hist = registry.histogram(f"acc_{dist}_seconds")
+    for value in values:
+        hist.observe(float(value))
+    estimate = hist.quantile(q)
+    truth = float(np.percentile(values, q * 100))
+    tolerance = DEFAULT_FACTOR ** 0.5           # one half-bucket, each way
+    assert truth / tolerance <= estimate <= truth * tolerance
+
+
+def test_quantile_edge_cases(registry):
+    hist = registry.histogram("edge_seconds")
+    assert np.isnan(hist.quantile(0.5))          # empty
+    hist.observe(1e-9)                           # underflow bucket
+    assert hist.quantile(0.5) == hist.bounds[0]
+    hist2 = registry.histogram("edge2_seconds")
+    hist2.observe(1e9)                           # overflow bucket
+    assert hist2.quantile(0.5) >= hist2.bounds[-1]
+
+
+def test_snapshot_minus_isolates_a_window(registry):
+    hist = registry.histogram("window_seconds")
+    for _ in range(100):
+        hist.observe(1e-3)
+    before = hist.snapshot()
+    for _ in range(50):
+        hist.observe(1.0)
+    delta = hist.snapshot().minus(before)
+    assert delta.total == 50
+    assert delta.mean == pytest.approx(1.0, rel=1e-6)
+    summary = delta.to_json(scale=1e3)
+    assert summary["count"] == 50
+    assert summary["p50"] == pytest.approx(1e3, rel=0.25)
+
+
+def test_histogram_mean_and_count(registry):
+    hist = registry.histogram("mc_seconds")
+    assert hist.count == 0
+    for value in (1.0, 2.0, 3.0):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.snapshot().mean == pytest.approx(2.0)
+
+
+# -- gauges --------------------------------------------------------------------
+
+
+def test_gauge_set_add_and_function(registry):
+    g = registry.gauge("depth")
+    g.set(4)
+    g.add(2)
+    assert g.value == 6.0
+    g.set_function(lambda: 41 + 1)
+    assert g.value == 42.0
+
+
+def test_gauge_dead_callback_yields_nan_not_crash(registry):
+    g = registry.gauge("dead")
+    g.set_function(lambda: 1 / 0)
+    assert np.isnan(g.value)
+    assert "dead" in registry.render()           # exposition survives
+
+
+# -- naming / labels -----------------------------------------------------------
+
+
+def test_invalid_names_and_labels_rejected(registry):
+    with pytest.raises(ValueError, match="invalid metric name"):
+        registry.counter("bad-name")
+    with pytest.raises(ValueError, match="invalid label name"):
+        registry.counter("ok_name", labels={"bad-label": "x"})
+
+
+def test_label_sets_are_distinct_series(registry):
+    a = registry.counter("labeled_total", labels={"scenario": "a"})
+    b = registry.counter("labeled_total", labels={"scenario": "b"})
+    assert a is not b
+    a.inc(3)
+    b.inc(4)
+    parsed = parse_prometheus(registry.render())
+    assert parsed[("labeled_total", '{scenario="a"}')] == 3.0
+    assert parsed[("labeled_total", '{scenario="b"}')] == 4.0
+
+
+# -- exposition ----------------------------------------------------------------
+
+
+def test_prometheus_render_parse_round_trip(registry):
+    registry.counter("rt_total", help="a counter").inc(7)
+    registry.gauge("rt_depth").set(3)
+    hist = registry.histogram("rt_seconds")
+    for value in (1e-4, 1e-3, 1e-2):
+        hist.observe(value)
+    text = registry.render()
+    assert "# TYPE rt_total counter" in text
+    assert "# HELP rt_total a counter" in text
+    assert "# TYPE rt_seconds histogram" in text
+    parsed = parse_prometheus(text)
+    assert parsed[("rt_total", "")] == 7.0
+    assert parsed[("rt_depth", "")] == 3.0
+    assert parsed[("rt_seconds_count", "")] == 3.0
+    assert parsed[("rt_seconds_sum", "")] == pytest.approx(0.0111)
+    # Bucket series are cumulative and end at +Inf == count.
+    inf = [v for (name, labels), v in parsed.items()
+           if name == "rt_seconds_bucket" and "+Inf" in labels]
+    assert inf == [3.0]
+
+
+def test_parse_prometheus_rejects_garbage():
+    with pytest.raises(ValueError, match="unparseable"):
+        parse_prometheus("this is { not an exposition\n")
+
+
+def test_registry_disable_drops_writes(registry):
+    c = registry.counter("killed_total")
+    hist = registry.histogram("killed_seconds")
+    registry.disable()
+    c.inc()
+    hist.observe(1.0)
+    registry.enable()
+    c.inc()
+    assert c.value == 1.0
+    assert hist.count == 0
+
+
+def test_unregistered_instrument_always_writes():
+    """A bare Histogram (no registry) ignores the kill switch — the
+    per-worker swap histogram must record even during an obs A/B."""
+    hist = Histogram("bare_seconds")
+    hist.observe(2.0)
+    assert hist.count == 1
+
+
+def test_registry_json_snapshot(registry):
+    registry.counter("snap_total", labels={"k": "v"}).inc(2)
+    registry.histogram("snap_seconds").observe(1e-3)
+    snap = registry.snapshot()
+    assert snap["snap_total"]["k=v"] == 2.0
+    assert snap["snap_seconds"][""]["count"] == 1

@@ -1,0 +1,110 @@
+"""Kernel profiling: opt-in accumulation, baselines, and the table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import prof
+
+
+@pytest.fixture()
+def profiling():
+    """Enable profiling over a fresh window; restore the off default."""
+    prof.enable()
+    prof.reset_baseline()
+    yield
+    prof.disable()
+
+
+def test_disabled_is_the_default_noop():
+    assert prof.enabled() is False
+    calls = []
+
+    @prof.profiled("noop.op")
+    def fn():
+        calls.append(1)
+        return 7
+
+    before = prof.snapshot().get("noop.op")
+    assert fn() == 7 and calls == [1]
+    assert prof.snapshot().get("noop.op") == before   # nothing recorded
+    with prof.section("noop.section"):
+        pass
+    assert "noop.section" not in prof.snapshot()
+
+
+def test_profiled_decorator_accumulates(profiling):
+    @prof.profiled("test.op")
+    def fn(x):
+        return x * 2
+
+    for i in range(5):
+        assert fn(i) == i * 2
+    stats = prof.snapshot()["test.op"]
+    assert stats["calls"] == 5
+    assert stats["total_ms"] >= 0.0
+    assert stats["mean_us"] == pytest.approx(
+        stats["total_ms"] / 5 * 1e3)
+
+
+def test_profiled_records_even_when_fn_raises(profiling):
+    @prof.profiled("test.raises")
+    def boom():
+        raise RuntimeError("x")
+
+    with pytest.raises(RuntimeError):
+        boom()
+    assert prof.snapshot()["test.raises"]["calls"] == 1
+
+
+def test_section_and_record(profiling):
+    with prof.section("test.section"):
+        pass
+    prof.record("test.manual", 0.5, calls=2)
+    stats = prof.snapshot()
+    assert stats["test.section"]["calls"] == 1
+    assert stats["test.manual"]["calls"] == 2
+    assert stats["test.manual"]["total_ms"] == pytest.approx(500.0)
+
+
+def test_reset_baseline_starts_a_fresh_window(profiling):
+    prof.record("test.window", 1.0)
+    assert "test.window" in prof.snapshot()
+    prof.reset_baseline()
+    assert "test.window" not in prof.snapshot()
+    prof.record("test.window", 0.25)
+    assert prof.snapshot()["test.window"]["total_ms"] == \
+        pytest.approx(250.0)
+
+
+def test_render_table(profiling):
+    prof.record("test.big", 0.9)
+    prof.record("test.small", 0.1)
+    table = prof.render_table("unit profile")
+    lines = table.splitlines()
+    assert lines[0] == "unit profile"
+    big = next(i for i, line in enumerate(lines) if "test.big" in line)
+    small = next(i for i, line in enumerate(lines) if "test.small" in line)
+    assert big < small                  # sorted by share, descending
+    assert "90.0%" in lines[big]
+    assert lines[-1].startswith("total")
+
+
+def test_render_table_empty_window():
+    prof.reset_baseline()
+    assert "REPRO_PROF=1" in prof.render_table()
+
+
+def test_fused_ops_register_under_profiling(profiling):
+    """The fused kernels actually hit the profiler when enabled."""
+    import numpy as np
+
+    from repro.nn.fused import layer_norm
+    from repro.nn.tensor import Tensor
+
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 8)).astype(
+        np.float32))
+    gamma = Tensor(np.ones(8, dtype=np.float32))
+    beta = Tensor(np.zeros(8, dtype=np.float32))
+    layer_norm(x, gamma, beta)
+    assert prof.snapshot()["fused.layer_norm"]["calls"] >= 1

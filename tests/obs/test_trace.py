@@ -1,0 +1,160 @@
+"""Span tracing: context propagation, sampling, and the JSONL sink."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import TraceContext, Tracer
+
+
+def test_spans_record_absolute_times_and_sum():
+    ctx = TraceContext("request", "unit")
+    t0 = ctx.t0
+    ctx.add_span("a", t0, t0 + 0.010)
+    ctx.add_span("b", t0 + 0.010, t0 + 0.025)
+    assert ctx.span_sum_ms() == pytest.approx(25.0)
+    record = ctx.to_json(total_s=0.030)
+    assert record["total_ms"] == pytest.approx(30.0)
+    assert record["span_sum_ms"] == pytest.approx(25.0)
+    assert [s["name"] for s in record["spans"]] == ["a", "b"]
+    assert record["spans"][1]["start_ms"] == pytest.approx(10.0)
+
+
+def test_t0_reanchoring_includes_pre_sampling_work():
+    """Call sites re-anchor ``ctx.t0`` to a tick taken before the
+    sampling decision, so e.g. JSON parse time sits inside the trace."""
+    earlier = time.perf_counter() - 0.5
+    ctx = TraceContext("request", "unit")
+    ctx.t0 = earlier
+    ctx.add_span("parse", earlier, earlier + 0.001)
+    record = ctx.to_json(total_s=time.perf_counter() - earlier)
+    assert record["spans"][0]["start_ms"] == pytest.approx(0.0, abs=1e-6)
+    assert record["total_ms"] >= 500.0
+
+
+def test_span_scope_context_manager():
+    ctx = TraceContext("swap", "unit")
+    with ctx.span("phase"):
+        time.sleep(0.002)
+    assert ctx.spans[0].name == "phase"
+    assert ctx.spans[0].duration >= 0.002
+
+
+def test_activate_and_current_nest_and_restore():
+    assert trace.current() is None
+    outer, inner = TraceContext("a", "x"), TraceContext("b", "y")
+    with trace.activate(outer):
+        assert trace.current() is outer
+        with trace.activate(inner):
+            assert trace.current() is inner
+        assert trace.current() is outer
+    assert trace.current() is None
+
+
+def test_activate_none_is_a_true_noop():
+    outer = TraceContext("a", "x")
+    with trace.activate(outer):
+        with trace.activate(None) as got:
+            assert got is None
+            assert trace.current() is outer      # untouched
+    assert trace.current() is None
+
+
+def test_context_is_thread_local_but_spans_cross_threads():
+    """The hot-path handoff pattern: the producer thread parks the ctx
+    on the queued item, the worker stamps spans into it directly."""
+    ctx = TraceContext("request", "handoff")
+    seen_on_worker = []
+
+    def worker():
+        seen_on_worker.append(trace.current())   # not inherited
+        tick = time.perf_counter()
+        ctx.add_span("worker_stage", tick, tick + 0.001)
+
+    with trace.activate(ctx):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen_on_worker == [None]
+    assert [s.name for s in ctx.spans] == ["worker_stage"]
+
+
+def test_extend_adopts_sibling_spans():
+    batch = TraceContext("batch", "micro_batch")
+    batch.add_span("encode", 1.0, 2.0)
+    batch.add_span("topk", 2.0, 2.5)
+    ctx = TraceContext("request", "unit")
+    ctx.extend(batch.spans)
+    assert [s.name for s in ctx.spans] == ["encode", "topk"]
+
+
+# -- sampling ------------------------------------------------------------------
+
+
+def test_sampling_rates():
+    assert Tracer(sample_rate=0.0).start("request", "x") is None
+    assert Tracer(sample_rate=1.0).start("request", "x") is not None
+    tracer = Tracer(sample_rate=0.25)
+    hits = sum(tracer.sample() for _ in range(4_000))
+    assert 700 < hits < 1_300                    # ~1000, generous band
+
+
+def test_disabled_tracer_is_one_branch():
+    tracer = Tracer(sample_rate=0.0)
+    assert tracer.enabled is False
+    assert tracer.sample() is False
+
+
+# -- sink ----------------------------------------------------------------------
+
+
+def test_finish_writes_jsonl_and_recent(tmp_path):
+    path = tmp_path / "traces.jsonl"
+    tracer = Tracer(sample_rate=1.0, path=str(path))
+    try:
+        ctx = tracer.start("request", "/recommend", meta={"scenario": "s"})
+        tick = time.perf_counter()
+        ctx.add_span("encode", tick, tick + 0.004)
+        record = tracer.finish(ctx, 0.005, status=200)
+    finally:
+        tracer.close()
+    assert record["status"] == 200 and record["scenario"] == "s"
+    assert tracer.recent[-1] is record
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 1
+    assert lines[0]["trace_id"] == ctx.trace_id
+    assert lines[0]["spans"][0]["name"] == "encode"
+    assert lines[0]["span_sum_ms"] == pytest.approx(4.0, rel=1e-3)
+
+
+def test_finish_defaults_total_to_elapsed_since_t0():
+    tracer = Tracer(sample_rate=1.0)
+    ctx = tracer.start("swap", "x")
+    time.sleep(0.005)
+    record = tracer.finish(ctx)
+    assert record["total_ms"] >= 5.0
+
+
+def test_recent_deque_is_bounded():
+    tracer = Tracer(sample_rate=1.0, keep_recent=4)
+    for i in range(10):
+        tracer.finish(tracer.start("request", str(i)), 0.001)
+    assert len(tracer.recent) == 4
+    assert tracer.recent[-1]["name"] == "9"
+
+
+def test_configure_swaps_sink(tmp_path):
+    tracer = Tracer(sample_rate=1.0, path=str(tmp_path / "a.jsonl"))
+    try:
+        tracer.finish(tracer.start("request", "first"), 0.001)
+        tracer.configure(path=str(tmp_path / "b.jsonl"))
+        tracer.finish(tracer.start("request", "second"), 0.001)
+    finally:
+        tracer.close()
+    assert "first" in (tmp_path / "a.jsonl").read_text()
+    assert "second" in (tmp_path / "b.jsonl").read_text()
