@@ -16,7 +16,8 @@ import pytest
 
 from repro.data import build_dataset
 from repro.nn.ops import topk
-from repro.serve import (Recommender, compare_paths, render_comparison,
+from repro.serve import (Recommender, bench_pool_scaling, compare_paths,
+                         render_comparison, render_pool_report,
                          request_stream)
 from repro.serve.registry import build_model
 
@@ -99,9 +100,26 @@ def test_serve_latency_benchmark(benchmark):
         return compare_paths(recommender, histories, k=10, batch_size=32)
 
     comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Worker-pool scaling sweep over the live HTTP front (ISSUE 9): the
+    # same scenario served by 1/2/4 forked workers plus the in-process
+    # tier, 8 keep-alive clients. Folded into the same artifact so
+    # results/serve_bench.txt carries the whole serving story.
+    sweep = bench_pool_scaling("hm", "sasrec", profile="paper",
+                               worker_counts=(1, 2, 4), requests=384,
+                               client_threads=8, seed=0)
     emit("serve_bench", render_comparison(
         comparison,
         title=f"serve benchmark — hm:sasrec ({dataset.num_items} items, "
-              f"float32, k=10, 512 requests)"))
+              f"float32, k=10, 512 requests)")
+        + "\n\n" + render_pool_report(
+            sweep, title="worker-pool scaling — hm:sasrec over HTTP "
+                         f"({sweep['requests']} requests, "
+                         f"{sweep['clients']} keep-alive clients)"))
     if os.environ.get("REPRO_SKIP_PERF_ASSERT") != "1":
         assert comparison["throughput_speedup"] >= 1.2
+        # Process-pool scaling needs cores to scale onto: the 4-worker
+        # ≥2.5× acceptance bar only means something on a ≥4-core host
+        # (a 1-core runner measures pure dispatch overhead).
+        if (os.cpu_count() or 1) >= 4:
+            assert sweep["scaling"]["pool-4w"] >= 2.5

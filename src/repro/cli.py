@@ -91,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-exclude-seen", action="store_true",
                        help="allow recommending items already in a history")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for the multi-process serving "
+                            "tier (0 = in-process, the default)")
     serve.add_argument("--smoke", action="store_true",
                        help="start in-process, answer one request per "
                             "scenario over HTTP, then exit (CI)")
@@ -115,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--cache-size", type=int, default=1024)
     stream.add_argument("--no-exclude-seen", action="store_true")
     stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the multi-process serving "
+                             "tier (0 = in-process); hot swaps fence every "
+                             "worker onto the new generation")
     stream.add_argument("--stream-batch-size", type=int, default=16,
                         help="replayed histories per fine-tune step")
     stream.add_argument("--stream-lr", type=float, default=5e-4,
@@ -179,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_stream.add_argument("--poison-events", type=int, default=0,
                               help="inject this many poisoned events "
                                    "mid-run to exercise the gate")
+    bench_stream.add_argument("--workers", type=int, default=0,
+                              help="serve through a worker pool of this "
+                                   "size (0 = in-process)")
     bench_stream.add_argument("--seed", type=int, default=0)
     _add_retrieval_args(bench_stream)
 
@@ -194,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch width for the batched path")
     bench.add_argument("--dtype", default="float32",
                        choices=["float32", "float64"])
+    bench.add_argument("--workers", type=int, default=0,
+                       help="run the worker-count scaling sweep up to N "
+                            "pool processes over HTTP (0 = the in-process "
+                            "path comparison only)")
+    bench.add_argument("--clients", type=int, default=8,
+                       help="keep-alive client threads for the pool sweep")
     bench.add_argument("--seed", type=int, default=0)
     _add_retrieval_args(bench)
 
@@ -355,6 +371,18 @@ def _build_service(args):
               f"({info['num_items']} items, index v{info['index_version']}, "
               f"{info['index_nbytes'] / 1024:.0f} KiB, "
               f"retrieval={info['retrieval']['retrieval']})")
+    workers = getattr(args, "workers", 0) or 0
+    if workers > 0:
+        # Fork the pool before anything starts threads (HTTP server,
+        # stream fine-tune workers): forked children must never inherit
+        # a parent thread's locks mid-flight.
+        from .serve.pool import PooledRecommendationService
+        service = PooledRecommendationService(
+            registry, workers=workers, max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms, cache_size=args.cache_size)
+        print(f"worker pool: {workers} processes "
+              f"(shared-memory catalogues, generation-fenced swaps)")
+        return service
     return RecommendationService(registry, max_batch=args.max_batch,
                                  max_wait_ms=args.max_wait_ms,
                                  cache_size=args.cache_size)
@@ -488,6 +516,7 @@ def _cmd_bench_stream(args) -> int:
         gate_tolerance=args.gate_tolerance,
         replay_bias=args.replay_bias,
         poison_events=args.poison_events,
+        workers=args.workers,
         seed=args.seed)
     print(render_stream_report(
         report, title=f"stream benchmark — {args.dataset}:{args.model} "
@@ -500,6 +529,21 @@ def _cmd_bench_serve(args) -> int:
     from .serve import (ModelRegistry, compare_paths, render_comparison,
                         request_stream)
     from .serve.registry import ScenarioSpec
+    if args.workers > 0:
+        from .serve.bench import bench_pool_scaling, render_pool_report
+        counts = sorted({c for c in (1, 2, 4, 8, 16, 32)
+                         if c <= args.workers} | {args.workers})
+        sweep = bench_pool_scaling(
+            args.dataset, args.model, profile=args.profile,
+            worker_counts=tuple(counts), requests=args.requests,
+            client_threads=args.clients, k=args.k, dtype=args.dtype,
+            max_batch=args.batch, checkpoint=args.checkpoint or None,
+            seed=args.seed)
+        print(render_pool_report(
+            sweep,
+            title=f"worker-pool scaling sweep — {args.dataset}:{args.model} "
+                  f"({args.dtype}, k={args.k})"))
+        return 0
     registry = ModelRegistry(profile=args.profile, dtype=args.dtype,
                              retrieval=args.retrieval,
                              ann_params=_ann_params(args),

@@ -39,8 +39,8 @@ from threading import get_ident
 
 __all__ = ["Counter", "Gauge", "Histogram", "HistogramSnapshot",
            "MetricsRegistry", "REGISTRY", "counter", "gauge", "histogram",
-           "render_prometheus", "parse_prometheus", "DEFAULT_BUCKETS",
-           "DEFAULT_START", "DEFAULT_FACTOR"]
+           "render_prometheus", "parse_prometheus", "merge_expositions",
+           "DEFAULT_BUCKETS", "DEFAULT_START", "DEFAULT_FACTOR"]
 
 #: Fixed histogram geometry: 64 buckets, √2 growth from 1e-6. Bucket i
 #: (1 ≤ i ≤ 62) covers (start·f^(i-1), start·f^i]; bucket 0 is
@@ -415,6 +415,32 @@ class MetricsRegistry:
                 entry[label] = inst.value
         return out
 
+    # -- fork support --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument's state without discarding instruments.
+
+        A forked worker process (``repro.serve.pool``) inherits the
+        parent's shards by copy-on-write; left alone, its ``/metrics``
+        exposition would replay the parent's whole pre-fork history and
+        the cross-process merge would double-count it. Instruments
+        themselves are kept — module-level code holds direct references
+        to them (e.g. the recommender's stage histograms), so clearing
+        ``_instruments`` would silently orphan those writers from the
+        exposition. Gauge callbacks are dropped too: they close over
+        parent-side objects whose forked copies no longer track anything
+        real. Locks are recreated because fork copies them in whatever
+        state some unrelated parent thread held them.
+        """
+        self._lock = threading.Lock()
+        for inst in self.instruments():
+            if inst.kind in ("counter", "histogram"):
+                inst._shards.clear()
+            elif inst.kind == "gauge":
+                inst._value = 0.0
+                inst._fn = None
+                inst._lock = threading.Lock()
+
 
 #: The process-global registry all built-in instrumentation writes to.
 REGISTRY = MetricsRegistry()
@@ -460,3 +486,72 @@ def parse_prometheus(text: str) -> dict[tuple[str, str], float]:
         name, labels, value = match.groups()
         samples[(name, labels or "")] = float(value)
     return samples
+
+
+_META_RE = re.compile(r"^# (HELP|TYPE) (\S+)(?: (.*))?$")
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+
+
+def merge_expositions(texts: list[str]) -> str:
+    """Merge Prometheus expositions from several processes into one.
+
+    The pool parent calls this over its own render plus one exposition
+    per worker process, so ``GET /metrics`` stays a single scrape
+    target. Samples with identical name + label set are **summed** —
+    valid for counters and for histograms because every process uses
+    the same deterministic bucket geometry (``DEFAULT_START`` /
+    ``DEFAULT_FACTOR``, or whatever geometry the instrument was created
+    with, which is code- not state-derived), so ``_bucket``/``_sum``/
+    ``_count`` series line up exactly. Gauges are process-local and
+    normally appear in only one exposition (workers reset inherited
+    gauges on fork); a gauge that does appear in several is summed,
+    which is the right semantics for the depth/size gauges this
+    codebase uses. Family order and first-seen HELP text are preserved.
+    """
+    helps: dict[str, str] = {}
+    kinds: dict[str, str] = {}
+    family_order: list[str] = []
+    rows: dict[str, list[tuple[str, str]]] = {}
+    values: dict[tuple[str, str], float] = {}
+    for text in texts:
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            meta = _META_RE.match(line)
+            if meta is not None:
+                keyword, name, rest = meta.groups()
+                if keyword == "HELP":
+                    helps.setdefault(name, rest or "")
+                elif name not in kinds:
+                    kinds[name] = rest or "untyped"
+                    family_order.append(name)
+                continue
+            if line.startswith("#"):
+                continue
+            match = _SAMPLE_RE.match(line)
+            if match is None:
+                raise ValueError(f"unparseable exposition line: {raw!r}")
+            name, labels, value = match.groups()
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in kinds:
+                    family = name[:-len(suffix)]
+                    break
+            if family not in kinds:
+                kinds[family] = "untyped"
+                family_order.append(family)
+            key = (name, labels or "")
+            if key in values:
+                values[key] += float(value)
+            else:
+                values[key] = float(value)
+                rows.setdefault(family, []).append(key)
+    lines = []
+    for family in family_order:
+        if helps.get(family):
+            lines.append(f"# HELP {family} {helps[family]}")
+        lines.append(f"# TYPE {family} {kinds[family]}")
+        for name, labels in rows.get(family, []):
+            lines.append(f"{name}{labels} {values[(name, labels)]:g}")
+    return "\n".join(lines) + "\n"

@@ -24,32 +24,42 @@ See ``docs/serving.md`` for the architecture and the endpoint contract.
 from .ann import (ANN_KINDS, AnnIndex, AnnSearch, IVFIndex, LSHIndex,
                   make_ann_index)
 from .batcher import BatcherClosed, BatcherStats, LRUCache, MicroBatcher
-from .bench import (BenchReport, RetrievalReport, bench_full_sort_path,
+from .bench import (BenchReport, KeepAliveClient, RetrievalReport,
+                    bench_full_sort_path, bench_pool_scaling,
                     bench_retrieval, bench_topk_path, compare_paths,
-                    render_comparison, render_retrieval, request_stream,
-                    stage_snapshots, synthetic_catalog, synthetic_queries)
+                    render_comparison, render_pool_report,
+                    render_retrieval, request_stream, stage_snapshots,
+                    synthetic_catalog, synthetic_queries)
 from .http import RecommendationServer, make_server, serve_forever
-from .index import CatalogIndex
+from .index import CatalogIndex, FrozenCatalogIndex
 from .recommender import Recommendation, Recommender, RetrievalStats
 from .registry import ModelRegistry, Scenario, ScenarioSpec, build_model
 from .scoring import (batch_scorer, encode_queries, model_max_len,
                       score_batch, supports_kernel)
 from .service import RecommendationService
 
+# After .service: the pool builds on the in-process service and would
+# otherwise form an import cycle through the package root.
+from .pool import (PoolError, PooledRecommendationService,  # noqa: E402
+                   SharedCatalogStore, WorkerDied, WorkerPool)
+
 __all__ = [
     "score_batch", "encode_queries", "batch_scorer", "supports_kernel",
     "model_max_len",
-    "CatalogIndex",
+    "CatalogIndex", "FrozenCatalogIndex",
     "ANN_KINDS", "AnnIndex", "AnnSearch", "IVFIndex", "LSHIndex",
     "make_ann_index",
     "Recommendation", "Recommender", "RetrievalStats",
     "MicroBatcher", "LRUCache", "BatcherStats", "BatcherClosed",
     "ModelRegistry", "Scenario", "ScenarioSpec", "build_model",
     "RecommendationService",
+    "PooledRecommendationService", "WorkerPool", "SharedCatalogStore",
+    "PoolError", "WorkerDied",
     "RecommendationServer", "make_server", "serve_forever",
     "BenchReport", "bench_topk_path", "bench_full_sort_path",
     "compare_paths", "render_comparison", "request_stream",
     "stage_snapshots",
     "RetrievalReport", "bench_retrieval", "render_retrieval",
     "synthetic_catalog", "synthetic_queries",
+    "KeepAliveClient", "bench_pool_scaling", "render_pool_report",
 ]

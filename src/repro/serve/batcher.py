@@ -194,6 +194,16 @@ class MicroBatcher:
             self._cond.notify_all()
             return request.future
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued and not yet flushed (approximate, lock-free).
+
+        A sustained non-zero depth on ``/stats`` means flushes cannot
+        keep up with arrivals — the signal to raise ``max_batch`` or add
+        pool workers.
+        """
+        return len(self._pending)
+
     def recommend(self, history, k: int = 10,
                   timeout: float | None = 30.0) -> Recommendation:
         """Blocking submit; flushes inline when no worker thread runs."""

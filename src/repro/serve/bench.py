@@ -23,7 +23,8 @@ __all__ = ["BenchReport", "bench_topk_path", "bench_full_sort_path",
            "compare_paths", "request_stream", "render_comparison",
            "stage_snapshots",
            "RetrievalReport", "synthetic_catalog", "synthetic_queries",
-           "bench_retrieval", "render_retrieval"]
+           "bench_retrieval", "render_retrieval",
+           "KeepAliveClient", "bench_pool_scaling", "render_pool_report"]
 
 
 @dataclass
@@ -326,4 +327,195 @@ def render_comparison(comparison: dict, title: str = "serve benchmark") -> str:
         for stage, s in stage_rows:
             lines.append(f"{stage:<12} {s['count']:>6} {s['p50']:>8.3f} "
                          f"{s['p99']:>8.3f} {s['mean']:>8.3f}")
+    return "\n".join(lines)
+
+
+# -- worker-pool scaling ------------------------------------------------------
+
+class KeepAliveClient:
+    """Persistent-connection JSON client for benchmarking the HTTP front.
+
+    One TCP connection carries many requests (HTTP/1.1 keep-alive),
+    which is how a real load balancer or SDK talks to the service —
+    and what the per-request ``urllib`` pattern used to measure before
+    the connection-churn fix. A server-side idle close is absorbed by
+    one transparent reconnect.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        import http.client
+        self._factory = lambda: http.client.HTTPConnection(
+            host, port, timeout=timeout)
+        self._conn = None
+        #: Connections re-established mid-stream. Stays 0 against a
+        #: healthy keep-alive server — a regression in connection churn
+        #: shows up here before it shows up in latency.
+        self.reconnects = 0
+
+    def _request(self, method: str, path: str, body: str | None) -> dict:
+        import http.client
+        import json as _json
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = self._factory()
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+            except (http.client.RemoteDisconnected, ConnectionResetError,
+                    BrokenPipeError, ConnectionAbortedError):
+                self.close()
+                self.reconnects += 1
+                if attempt:
+                    raise
+                continue
+            if response.status >= 400:
+                raise RuntimeError(
+                    f"HTTP {response.status} on {path}: {data[:200]!r}")
+            return _json.loads(data)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def get_json(self, path: str) -> dict:
+        return self._request("GET", path, None)
+
+    def post_json(self, path: str, payload: dict) -> dict:
+        import json as _json
+        return self._request("POST", path, _json.dumps(payload))
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+def bench_pool_scaling(dataset_name: str, model_name: str, *,
+                       profile: str | None = None,
+                       worker_counts: tuple = (1, 2, 4),
+                       requests: int = 512, client_threads: int = 8,
+                       k: int = 10, dtype: str = "float32",
+                       max_batch: int = 32, max_wait_ms: float = 2.0,
+                       checkpoint: str | None = None,
+                       include_inprocess: bool = True,
+                       seed: int = 0) -> dict:
+    """Measure ``/recommend`` QPS over HTTP at several pool sizes.
+
+    Each leg stands up the full serving stack — pooled service, HTTP
+    server, ``client_threads`` keep-alive clients — and drives the same
+    request stream through it. The registry (datasets + models + warmed
+    index) is built once and reused across legs; only the pool is
+    reforked per worker count. An in-process leg (no pool) rides along
+    as the dispatch-overhead baseline and runs *last* so its batcher
+    threads never precede a fork.
+    """
+    import threading
+    from dataclasses import replace as _replace
+
+    from .http import make_server
+    from .pool import PooledRecommendationService
+    from .registry import ModelRegistry, ScenarioSpec
+    from .service import RecommendationService
+
+    registry = ModelRegistry(profile=profile, dtype=dtype)
+    scenario = registry.add(ScenarioSpec(dataset=dataset_name,
+                                         model=model_name,
+                                         checkpoint=checkpoint), seed=seed)
+    histories = request_stream(scenario.dataset, requests, seed=seed,
+                               repeat_frac=0.2)
+
+    def run_leg(name: str, service) -> BenchReport:
+        server = make_server(service)
+        server.start_background()
+        host, port = server.server_address[:2]
+        latencies: list[list[float]] = [[] for _ in range(client_threads)]
+        errors: list[str] = []
+        slices = np.array_split(np.arange(len(histories)), client_threads)
+
+        def client(tid: int, indices: np.ndarray) -> None:
+            conn = KeepAliveClient(host, port)
+            try:
+                for i in indices:
+                    payload = {"dataset": dataset_name, "model": model_name,
+                               "history": [int(x) for x in
+                                           histories[int(i)]],
+                               "k": k}
+                    tick = time.perf_counter()
+                    conn.post_json("/recommend", payload)
+                    latencies[tid].append(time.perf_counter() - tick)
+            except Exception as exc:  # noqa: BLE001 - collected, reraised
+                errors.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=client, args=(tid, idx),
+                                    daemon=True)
+                   for tid, idx in enumerate(slices)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = time.perf_counter() - start
+        server.shutdown()
+        server.server_close()
+        if errors:
+            raise RuntimeError(f"pool bench leg {name!r} failed: "
+                               f"{errors[:3]}")
+        flat = [value for per_thread in latencies for value in per_thread]
+        return _replace(_report(name, flat, len(flat), 0, total),
+                        batch_size=client_threads)
+
+    reports: list[BenchReport] = []
+    for count in worker_counts:
+        service = PooledRecommendationService(
+            registry, workers=int(count), max_batch=max_batch,
+            max_wait_ms=max_wait_ms)
+        try:
+            reports.append(run_leg(f"pool-{count}w", service))
+        finally:
+            service.close()
+    if include_inprocess:
+        service = RecommendationService(registry, max_batch=max_batch,
+                                        max_wait_ms=max_wait_ms)
+        try:
+            reports.append(run_leg("in-process", service))
+        finally:
+            service.close()
+    base = next((r for r in reports if r.name == "pool-1w"), reports[0])
+    import os
+    return {"scenario": f"{dataset_name}:{model_name}",
+            "profile": profile, "requests": requests,
+            "clients": client_threads, "k": k,
+            "cpu_count": os.cpu_count() or 1,
+            "worker_counts": [int(c) for c in worker_counts],
+            "reports": reports,
+            "scaling": {r.name: (r.qps / base.qps if base.qps else 0.0)
+                        for r in reports if r.name.startswith("pool-")}}
+
+
+def render_pool_report(sweep: dict,
+                       title: str = "worker-pool scaling sweep") -> str:
+    """Human-readable table for the CLI and the results/ artifact."""
+    lines = [title,
+             f"scenario {sweep['scenario']} (profile={sweep['profile']}); "
+             f"{sweep['requests']} requests over HTTP keep-alive, "
+             f"{sweep['clients']} client threads; host has "
+             f"{sweep['cpu_count']} cpu core(s)",
+             f"{'leg':<14} {'req':>5} {'p50 ms':>8} {'p99 ms':>8} "
+             f"{'QPS':>8}"]
+    for report in sweep["reports"]:
+        lines.append(f"{report.name:<14} {report.requests:>5} "
+                     f"{report.p50_ms:>8.2f} {report.p99_ms:>8.2f} "
+                     f"{report.qps:>8.1f}")
+    for name, ratio in sweep["scaling"].items():
+        if name != "pool-1w":
+            lines.append(f"{name}: {ratio:.2f}x pool-1w QPS")
+    if sweep["cpu_count"] < max(sweep["worker_counts"], default=1):
+        lines.append(
+            f"note: host exposes only {sweep['cpu_count']} core(s) — QPS "
+            "cannot scale past the physical cores; the >=2.5x @ 4 workers "
+            "target needs a >=4-core host")
     return "\n".join(lines)

@@ -63,7 +63,17 @@ class _Handler(BaseHTTPRequestHandler):
     """Route table over the service owned by the server."""
 
     server: "RecommendationServer"
+    # HTTP/1.1 + Content-Length on every response (see _send_bytes) means
+    # persistent connections: a bench client or scraper reuses one TCP
+    # connection across requests instead of paying a handshake each.
     protocol_version = "HTTP/1.1"
+    # Keep-alive needs an idle bound, or an abandoned connection parks a
+    # handler thread in readline() forever; the stdlib turns a socket
+    # timeout into close_connection for us.
+    timeout = 120
+    # Recommend responses are single small writes on a latency-sensitive
+    # path: never let the kernel hold them back for coalescing.
+    disable_nagle_algorithm = True
 
     # -- helpers -------------------------------------------------------------
 
@@ -155,7 +165,13 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/stats":
                 self._send(service.stats())
             elif self.path == "/metrics":
-                self._send_bytes(metrics.render_prometheus().encode(),
+                # The service decides what one scrape means: in-process
+                # renders the global registry, the pooled tier merges
+                # per-worker expositions into it. Duck services without
+                # the hook fall back to the process-global render.
+                renderer = getattr(service, "metrics_text",
+                                   metrics.render_prometheus)
+                self._send_bytes(renderer().encode(),
                                  "text/plain; version=0.0.4")
             else:
                 self._error(f"unknown route {self.path!r}", 404)

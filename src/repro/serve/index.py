@@ -22,7 +22,7 @@ import numpy as np
 
 from .ann import AnnIndex, AnnSearch
 
-__all__ = ["CatalogIndex"]
+__all__ = ["CatalogIndex", "FrozenCatalogIndex"]
 
 
 class CatalogIndex:
@@ -249,3 +249,97 @@ class CatalogIndex:
         shape = None if self._matrix is None else self._matrix.shape
         return (f"CatalogIndex(dataset={self.dataset.name!r}, "
                 f"version={self._version}, shape={shape})")
+
+
+class FrozenCatalogIndex:
+    """A read-only :class:`CatalogIndex` over an externally published matrix.
+
+    Pool worker processes (``repro.serve.pool``) never encode: the parent
+    publishes the catalogue matrix into shared memory, and each worker
+    wraps its zero-copy view in this class so the rest of the serving
+    stack (:class:`~repro.serve.recommender.Recommender`, the
+    micro-batcher's version-keyed cache) works unchanged. The index is
+    never stale — a new generation arrives as a *new* frozen index via
+    the generation fence, not as a rebuild of this one — so the mutating
+    half of the ``CatalogIndex`` surface (``mark_stale``,
+    ``publish_partial``) raises, and ``refresh`` is a no-op returning the
+    pinned version. No locks: every field is immutable after the
+    (single-threaded) ANN fit in ``attach_ann``.
+    """
+
+    def __init__(self, matrix: np.ndarray, version: int,
+                 num_items: int | None = None):
+        matrix = np.asarray(matrix)
+        if matrix.flags.writeable:
+            matrix = matrix.view()
+            matrix.flags.writeable = False
+        self._matrix = matrix
+        self._version = int(version)
+        self._num_items = (int(num_items) if num_items is not None
+                           else matrix.shape[0] - 1)
+        self._ann: AnnIndex | None = None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def nbytes(self) -> int:
+        return self._matrix.nbytes
+
+    @property
+    def stale(self) -> bool:
+        return False
+
+    @property
+    def ann(self) -> AnnIndex | None:
+        return self._ann
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def mark_stale(self) -> None:
+        raise RuntimeError("FrozenCatalogIndex cannot rebuild; publish a "
+                           "new generation through the pool fence instead")
+
+    def publish_partial(self, base_matrix, changed_ids) -> int:
+        raise RuntimeError("FrozenCatalogIndex cannot rebuild; publish a "
+                           "new generation through the pool fence instead")
+
+    def attach_ann(self, ann: AnnIndex | None) -> None:
+        """Attach and immediately fit an ANN structure to the frozen matrix.
+
+        Fitting is per-worker duplicated work (each process builds its
+        own centroids/tables over the shared matrix), which is the price
+        of keeping ANN structures plain process-local objects.
+        """
+        self._ann = ann
+        if ann is not None:
+            ann.fit(self._matrix, version=self._version)
+
+    # -- reads ---------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """No-op: frozen generations are replaced, never rebuilt."""
+        return self._version
+
+    def snapshot(self) -> tuple[np.ndarray, int]:
+        return self._matrix, self._version
+
+    def snapshot_retrieval(self) -> tuple[np.ndarray, int, AnnSearch | None]:
+        ann = self._ann
+        search = None if ann is None else ann.search_snapshot()
+        if search is not None and search.version != self._version:
+            search = None          # pragma: no cover - fit pins the version
+        return self._matrix, self._version, search
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FrozenCatalogIndex(version={self._version}, "
+                f"shape={self._matrix.shape})")

@@ -155,6 +155,20 @@ class ModelRegistry:
                            retrieval=self.retrieval,
                            ann_params=self.ann_params, **extra)
 
+    def build_scenario(self, spec: ScenarioSpec, dataset, model,
+                       index=None) -> Scenario:
+        """Assemble a :class:`Scenario` around pre-built parts.
+
+        The counterpart of :meth:`build_recommender` one level up: hot
+        swaps (``repro.stream``) and pool workers (``repro.serve.pool``)
+        bring their own dataset snapshot, model generation and —
+        worker-side — a frozen shared-memory index, but the recommender
+        wiring must still come from this registry's retrieval settings.
+        """
+        recommender = self.build_recommender(model, dataset, index=index)
+        return Scenario(spec=spec, dataset=dataset, model=model,
+                        recommender=recommender)
+
     # -- hot swap ------------------------------------------------------------
 
     def publish(self, scenario: Scenario) -> Scenario:

@@ -157,6 +157,26 @@ class RecommendationService:
                              "start it with `repro stream`")
         return self.stream.swap(dataset, model)
 
+    def publish_generation(self, scenario: Scenario) -> dict:
+        """Flip routing to ``scenario`` and retire the old batcher.
+
+        The single entry point the hot-swap path (``repro.stream``)
+        calls to make a new generation live. The pooled service
+        (``repro.serve.pool``) overrides this with a shared-memory
+        publish + generation fence; the in-process version is just
+        ``registry.publish`` plus :meth:`retire_batcher`, timed with
+        the same keys (``publish_s`` / ``fence_s`` / ``drain_s``) so
+        the swap-phase observability reads identically in both tiers.
+        """
+        tick = time.perf_counter()
+        self.registry.publish(scenario)
+        published = time.perf_counter()
+        self.retire_batcher(scenario.spec.key)
+        done = time.perf_counter()
+        return {"workers": 0, "acked": 0, "errors": [],
+                "publish_s": published - tick, "fence_s": 0.0,
+                "drain_s": done - published}
+
     def retire_batcher(self, key: tuple[str, str]) -> None:
         """Close (drain) the batcher bound to a swapped-out scenario.
 
@@ -194,6 +214,9 @@ class RecommendationService:
             swap_races = self._swap_race_retries
         payload = {"scenarios": per_scenario,
                    "swap_race_retries": swap_races,
+                   # Topology parity with the pooled tier: consumers can
+                   # branch on mode instead of sniffing for pool keys.
+                   "pool": {"mode": "in-process", "workers": 0},
                    "settings": {"max_batch": self.max_batch,
                                 "max_wait_ms": self.max_wait_ms,
                                 "cache_size": self.cache_size,
@@ -201,6 +224,15 @@ class RecommendationService:
         if self.stream is not None:
             payload["stream"] = self.stream.stats()
         return payload
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /metrics``.
+
+        The in-process service has exactly one process, so this is the
+        global registry's render; the pooled service overrides it with
+        a cross-process merge.
+        """
+        return metrics.render_prometheus()
 
     # -- lifecycle -----------------------------------------------------------
 

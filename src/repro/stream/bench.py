@@ -192,7 +192,7 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
                  lr: float = 5e-4, recall_queries: int = 32,
                  eval_gate: bool = True, gate_tolerance: float = 0.1,
                  replay_bias: float = 0.5, poison_events: int = 0,
-                 seed: int = 0) -> dict:
+                 workers: int = 0, seed: int = 0) -> dict:
     """Serve continuously while ingesting, fine-tuning and hot-swapping.
 
     Every run is *gated* by default: candidate generations are scored on
@@ -210,7 +210,13 @@ def bench_stream(dataset_name: str = "hm", model_name: str = "pmmrec-text",
                              min_ann_items=min_ann_items)
     scenario = registry.add(f"{dataset_name}:{model_name}", seed=seed)
     initial_version = scenario.recommender.index_version
-    service = RecommendationService(registry)
+    if workers > 0:
+        # The pooled tier must fork before the StreamManager (and its
+        # fine-tune threads) exist; swaps then run the generation fence.
+        from ..serve.pool import PooledRecommendationService
+        service = PooledRecommendationService(registry, workers=workers)
+    else:
+        service = RecommendationService(registry)
     config = StreamConfig(batch_size=batch_size, lr=lr,
                           steps_per_swap=steps_per_swap,
                           min_events_per_round=event_batch,

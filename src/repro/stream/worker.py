@@ -63,7 +63,7 @@ from ..data.batching import pad_sequences
 from ..data.catalog import MAX_SEQ_LEN, text_vocab_size
 from ..data.splits import EvalExample
 from ..serve.index import CatalogIndex
-from ..serve.registry import Scenario, build_model
+from ..serve.registry import build_model
 from ..train.trainer import TrainConfig, Trainer
 from .dataset import GrowableDataset
 from .events import ColdItemEvent, EventLog, InteractionEvent, ReplayBuffer
@@ -118,6 +118,8 @@ class SwapReport:
     latency_ms: float            # publish latency (encode + fit + flip)
     checkpoint: str | None = None
     gate: dict | None = None     # eval-gate verdict (metrics + deltas)
+    fence: dict | None = None    # pool generation fence (workers/acks),
+                                 # None on the in-process tier
 
     def to_json(self) -> dict:
         return dict(self.__dict__)
@@ -148,7 +150,7 @@ class _Counters:
 #: Swap phases, in execution order. Each gets a span on a sampled swap
 #: trace and a ``repro_stream_swap_phase_seconds{phase=...}`` histogram.
 SWAP_PHASES = ("snapshot", "pre_warm", "index_build", "gate",
-               "checkpoint", "publish", "drain")
+               "checkpoint", "publish", "fence", "drain")
 
 
 class FineTuneWorker:
@@ -892,15 +894,39 @@ class FineTuneWorker:
             checkpoint = self._save_checkpoint(steps)
             phase("checkpoint", tick, time.perf_counter())
         tick = time.perf_counter()
-        recommender = registry.build_recommender(model, snapshot,
-                                                 index=index)
-        scenario = Scenario(spec=self.spec, dataset=snapshot, model=model,
-                            recommender=recommender)
-        registry.publish(scenario)
-        phase("publish", tick, (tick := time.perf_counter()))
-        self.service.retire_batcher(self.key)
+        scenario = registry.build_scenario(self.spec, snapshot, model,
+                                           index=index)
+        # The service owns how a generation goes live: registry flip +
+        # batcher drain in-process, shared-memory publish + generation
+        # fence on the pooled tier. Duck services used by unit tests may
+        # predate the hook, so fall back to the pre-fence sequence.
+        publisher = getattr(self.service, "publish_generation", None)
+        if publisher is not None:
+            fence_info = publisher(scenario)
+        else:
+            registry.publish(scenario)
+            self.service.retire_batcher(self.key)
+            fence_info = None
         done = time.perf_counter()
-        phase("drain", tick, done)
+        # Render the publish/fence/drain phases as contiguous spans from
+        # the durations the service reported (zero-width fence on the
+        # in-process tier), ending exactly at `done` so sampled swap
+        # traces keep full coverage.
+        durations = fence_info or {}
+        edge = tick
+        for name in ("publish", "fence", "drain"):
+            seconds = max(float(durations.get(f"{name}_s", 0.0)), 0.0)
+            end = done if name == "drain" else min(edge + seconds, done)
+            phase(name, edge, end)
+            edge = end
+        fence_report = None
+        if fence_info is not None and fence_info.get("workers", 0) > 0:
+            fence_report = {"workers": fence_info["workers"],
+                            "acked": fence_info["acked"],
+                            "errors": fence_info.get("errors", []),
+                            "generation": fence_info.get("generation"),
+                            "fence_ms": round(
+                                fence_info.get("fence_s", 0.0) * 1e3, 3)}
         latency_ms = (done - start) * 1e3
         self._published_items = snapshot.num_items
         with self._stats_lock:
@@ -919,7 +945,7 @@ class FineTuneWorker:
                           new_items=int(new_ids.size),
                           reencoded_items=reencoded,
                           latency_ms=latency_ms, checkpoint=checkpoint,
-                          gate=gate_summary)
+                          gate=gate_summary, fence=fence_report)
 
     def _save_checkpoint(self, steps: int) -> str | None:
         directory = self.config.checkpoint_dir

@@ -10,6 +10,7 @@ the same for a hot swap's phase spans.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -67,6 +68,24 @@ def _recommend(server, service, row=0, k=5):
                   "history": history, "k": k})
 
 
+def _await_log_line(path, predicate, timeout=5.0):
+    """Poll a JSONL sink for a matching line.
+
+    The handler writes its access-log line *after* the response bytes
+    flush, so the client can observe the body before the line lands —
+    a short poll instead of a single read keeps the assertion honest.
+    """
+    deadline = time.perf_counter() + timeout
+    while True:
+        for line in reversed(path.read_text().splitlines()):
+            record = json.loads(line)
+            if predicate(record):
+                return record
+        if time.perf_counter() >= deadline:
+            raise AssertionError(f"no matching line in {path}")
+        time.sleep(0.01)
+
+
 def test_metrics_endpoint_parses_with_core_series(traced):
     server, service, _, _ = traced
     status, _ = _recommend(server, service, row=0)
@@ -94,10 +113,8 @@ def test_sampled_request_trace_spans_sum_to_e2e_latency(traced):
     status, payload = _recommend(server, service, row=1)
     assert status == 200
     assert "trace_id" in payload
-    records = [json.loads(line)
-               for line in trace_log.read_text().splitlines()]
-    record = next(r for r in records
-                  if r["trace_id"] == payload["trace_id"])
+    record = _await_log_line(
+        trace_log, lambda r: r.get("trace_id") == payload["trace_id"])
     assert record["kind"] == "request" and record["status"] == 200
     names = [s["name"] for s in record["spans"]]
     assert names[0] == "parse" and names[-1] == "respond"
@@ -117,20 +134,16 @@ def test_trace_id_propagates_to_access_log(traced):
     server, service, _, access_log = traced
     status, payload = _recommend(server, service, row=2)
     assert status == 200
-    lines = [json.loads(line)
-             for line in access_log.read_text().splitlines()]
-    entry = next(line for line in reversed(lines)
-                 if line.get("trace_id") == payload["trace_id"])
+    entry = _await_log_line(
+        access_log, lambda r: r.get("trace_id") == payload["trace_id"])
     assert entry["method"] == "POST"
     assert entry["path"] == "/recommend"
     assert entry["status"] == 200
     assert entry["latency_ms"] > 0.0
     # Untraced routes log too, with a null trace id.
     _get_text(server, "/health")
-    lines = [json.loads(line)
-             for line in access_log.read_text().splitlines()]
-    health = next(line for line in reversed(lines)
-                  if line["path"] == "/health")
+    health = _await_log_line(access_log,
+                             lambda r: r["path"] == "/health")
     assert health["status"] == 200 and health["trace_id"] is None
 
 

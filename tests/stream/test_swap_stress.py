@@ -18,6 +18,8 @@ import time
 import numpy as np
 import pytest
 
+from repro.serve import ModelRegistry
+from repro.serve.pool import PooledRecommendationService
 from repro.stream import StreamConfig, StreamManager, parse_events
 
 from .conftest import make_service
@@ -25,6 +27,10 @@ from .conftest import make_service
 THREADS = 6
 REQUESTS_PER_THREAD = 40
 K = 5
+
+#: The pooled variant's client count (ISSUE 9 acceptance: 8-thread churn
+#: across a generation fence).
+POOL_THREADS = 8
 
 
 @pytest.fixture()
@@ -153,6 +159,120 @@ def test_swap_under_load_serves_whole_generations_only(stressed):
     # The swap landed mid-traffic: at least the new generation served
     # (old-generation responses depend on timing and may be few).
     assert version_b in served_versions
+
+
+@pytest.fixture()
+def pool_stressed():
+    """Worker-pool service + synchronous stream worker.
+
+    The pool MUST fork before any other threads exist in the service
+    (fork snapshots the parent mid-thread otherwise), so the service is
+    built first and the stream manager attached after — same order the
+    CLI uses.
+    """
+    registry = ModelRegistry(profile="smoke", dtype="float32")
+    registry.add("kwai_food:pmmrec-text", seed=0)
+    service = PooledRecommendationService(registry, workers=2,
+                                          max_wait_ms=1.0)
+    manager = StreamManager(service,
+                            StreamConfig(batch_size=4, steps_per_swap=2,
+                                         seed=0),
+                            start=False)
+    service.attach_stream(manager)
+    yield service, manager.worker("kwai_food", "pmmrec-text")
+    service.close()
+
+
+def test_pooled_swap_under_load_zero_drops_whole_generations(pool_stressed):
+    """8-thread churn across a generation-fenced pooled hot swap.
+
+    Same contract as the in-process stress above, but the swap now
+    crosses a process boundary: the stream worker publishes shared
+    segments, every pool worker acks the flip, and old segments unlink
+    after the drain. Every response must still be bitwise the answer of
+    one complete generation, with zero drops.
+    """
+    service, worker = pool_stressed
+    scenario = service.registry.get("kwai_food", "pmmrec-text")
+    dataset = scenario.dataset
+    pool = [np.asarray(ex.history) for ex in dataset.split.test[:10]]
+
+    expected = _expected_by_version(scenario, pool)
+    version_a = scenario.recommender.index_version
+
+    events = [{"user": int(u), "item": int(dataset.sequences[u][j])}
+              for u in range(8)
+              for j in (0, len(dataset.sequences[u]) // 2)]
+    worker.ingest(parse_events(events))
+    worker.run_steps(2)
+
+    responses: list = []
+    errors: list = []
+    submitted = [0] * POOL_THREADS
+    swapped = threading.Event()
+    reports = []
+
+    def swapper():
+        while len(responses) < POOL_THREADS * 2 and not swapped.is_set():
+            time.sleep(0.0005)
+        reports.append(worker.swap())
+        swapped.set()
+
+    def client(thread_id: int) -> None:
+        thread_rng = np.random.default_rng(5000 + thread_id)
+        tail = 25
+        try:
+            while True:
+                if swapped.is_set():
+                    if tail == 0:
+                        return
+                    tail -= 1
+                history = pool[thread_rng.integers(0, len(pool))]
+                submitted[thread_id] += 1
+                payload = service.recommend(
+                    "kwai_food", "pmmrec-text",
+                    [int(i) for i in history], k=K)
+                responses.append((history.tobytes(), payload))
+        except Exception as exc:  # noqa: BLE001 - checked in main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(POOL_THREADS)]
+    swap_thread = threading.Thread(target=swapper)
+    for thread in threads:
+        thread.start()
+    swap_thread.start()
+    for thread in threads:
+        thread.join(timeout=180)
+        assert not thread.is_alive(), "stress client wedged"
+    swap_thread.join(timeout=180)
+    assert not swap_thread.is_alive(), "swapper wedged"
+
+    assert errors == []
+    assert len(responses) == sum(submitted)      # zero drops
+    assert reports and reports[0].kind == "full"
+    version_b = reports[0].version
+    assert version_b == version_a + 1
+    # The fence actually ran: every worker acked the new generation.
+    fence = reports[0].fence
+    assert fence is not None and fence["workers"] == 2
+    assert fence["acked"] == 2 and fence["errors"] == []
+
+    expected.update(_expected_by_version(
+        service.registry.get("kwai_food", "pmmrec-text"), pool))
+
+    served_versions = set()
+    for history_key, payload in responses:
+        version = payload["index_version"]
+        served_versions.add(version)
+        assert version in (version_a, version_b), \
+            f"response claims unknown generation v{version}"
+        expected_items = expected[(history_key, version)]
+        assert payload["items"] == [int(i) for i in expected_items], \
+            f"mixed-generation answer at v{version}"
+    assert version_b in served_versions
+    # Both generations' answers came from pool workers; all still alive.
+    assert service.pool.alive() == 2
 
 
 def test_traffic_across_many_catalog_swaps_never_drops(stressed):
