@@ -10,6 +10,7 @@ case records both sides plus the per-instrument micro-costs under
 """
 
 import os
+import statistics
 import time
 
 import numpy as np
@@ -156,6 +157,128 @@ def test_obs_overhead_within_5pct_artifact(serving_setup):
     # Disabled-tracing span sites must stay nanosecond-scale.
     assert micro["trace_current_ns"] < 2_000
     assert micro["sample_disabled_ns"] < 2_000
+
+
+def _service_qps(service, histories, duration_s: float = 1.0,
+                 repeats: int = 3) -> float:
+    """Best-of-N QPS through the full service facade (direct path).
+
+    Duration-based rather than request-count-based so the background
+    monitor (when on) takes several samples inside every measurement
+    window — otherwise a short burst could dodge the sampler entirely
+    and the A/B would measure nothing.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        served = 0
+        start = time.perf_counter()
+        while True:
+            service.recommend("kwai_food", "sasrec",
+                              histories[served % len(histories)], k=10)
+            served += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= duration_s:
+                break
+        best = max(best, served / elapsed)
+    return best
+
+
+@pytest.fixture()
+def monitored_setup():
+    from repro.serve import ModelRegistry, RecommendationService
+    registry = ModelRegistry(profile="smoke", dtype="float32")
+    registry.add("kwai_food:sasrec", seed=0)
+    service = RecommendationService(registry, cache_size=0, batching=False)
+    histories = request_stream(
+        registry.get("kwai_food", "sasrec").dataset, 192, seed=0)
+    yield service, histories
+    service.close()
+
+
+def _monitor_ab(service, histories, pairs: int = 12,
+                duration_s: float = 0.5) -> dict:
+    """QPS with the self-monitor sampling at 2 Hz vs monitor off.
+
+    2 Hz is 2x the default production interval, so every measurement
+    window contains at least one full sample+evaluate cycle. Raw QPS
+    on a shared single-core host jitters far more than the effect
+    under test, so the comparison is paired: each round measures both
+    arms back to back, alternating which arm goes first (cancels
+    monotonic host drift), and the statistic is the ratio of the two
+    arms' medians rather than any single reading.
+    """
+    trace.configure(sample_rate=0.0)
+
+    def measure_on() -> float:
+        service.enable_monitoring(interval_s=0.5, window_s=60.0)
+        time.sleep(0.05)        # first background sample lands
+        try:
+            return _service_qps(service, histories,
+                                duration_s=duration_s, repeats=1)
+        finally:
+            service._close_monitor()
+
+    def one_round() -> dict:
+        offs, ons = [], []
+        for i in range(pairs):
+            if i % 2 == 0:
+                offs.append(_service_qps(service, histories,
+                                         duration_s=duration_s, repeats=1))
+                ons.append(measure_on())
+            else:
+                ons.append(measure_on())
+                offs.append(_service_qps(service, histories,
+                                         duration_s=duration_s, repeats=1))
+        off = statistics.median(offs)
+        on = statistics.median(ons)
+        return {"off_qps": off, "on_qps": on,
+                "overhead_frac": 1.0 - on / off}
+
+    _service_qps(service, histories, duration_s=0.3, repeats=1)  # warm
+    # Even paired medians wobble by several percent across rounds on a
+    # throttled runner; the median of three full rounds is the estimate.
+    rounds = sorted((one_round() for _ in range(3)),
+                    key=lambda r: r["overhead_frac"])
+    result = dict(rounds[1])
+    result["pairs"] = pairs
+    result["rounds"] = [r["overhead_frac"] for r in rounds]
+    return result
+
+
+def test_monitoring_overhead_harness(monitored_setup):
+    service, histories = monitored_setup
+    result = _monitor_ab(service, histories, pairs=1, duration_s=0.15)
+    assert result["off_qps"] > 0 and result["on_qps"] > 0
+    # Generous fast-suite envelope; the slow case pins the 5% bar.
+    assert result["overhead_frac"] < 0.5
+
+
+@pytest.mark.slow
+@_skip_perf_assert
+def test_monitoring_overhead_within_5pct_artifact(monitored_setup):
+    """Acceptance: monitor-on QPS within the existing 5% obs bar."""
+    service, histories = monitored_setup
+    result = _monitor_ab(service, histories)
+    lines = [
+        "self-monitoring overhead benchmark",
+        "==================================",
+        f"serving path (sasrec @ smoke, direct path, "
+        f"{result['pairs']} paired 0.5 s windows, median of each arm):",
+        f"  monitor off                            "
+        f"{result['off_qps']:>10.1f} req/s",
+        f"  monitor on (2 Hz sampling + rules)     "
+        f"{result['on_qps']:>10.1f} req/s",
+        f"  overhead                               "
+        f"{result['overhead_frac'] * 100:>10.2f} %",
+        f"  (median of 3 rounds: "
+        f"{', '.join(f'{r * 100:+.2f}%' for r in result['rounds'])})",
+        "",
+        "production default samples at 1 Hz (2x slower than measured).",
+    ]
+    emit("monitor_bench", "\n".join(lines))
+    assert result["overhead_frac"] < 0.05, (
+        f"monitoring overhead {result['overhead_frac']:.2%} "
+        f"exceeds the 5% bar")
 
 
 def test_obs_bench_counters_visible():

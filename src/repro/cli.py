@@ -1,6 +1,6 @@
 """Command-line interface for the PMMRec reproduction.
 
-Ten subcommands mirror the library's main workflows::
+Eleven subcommands mirror the library's main workflows::
 
     repro datasets [--profile paper]            # Table II style statistics
     repro train --dataset kwai_food             # train one model
@@ -11,7 +11,8 @@ Ten subcommands mirror the library's main workflows::
     repro stream --scenarios kwai_food:pmmrec-text   # serve + learn online
     repro bench-stream --dataset hm --model pmmrec-text
     repro prof --dataset kwai_food --model pmmrec-text  # kernel profile
-    repro stats --url http://127.0.0.1:8765     # tabulate /metrics
+    repro stats --url http://127.0.0.1:8765 [--watch 2]  # tabulate /metrics
+    repro top --url http://127.0.0.1:8765       # live health dashboard
 
 Every subcommand is importable (``main(argv)``) for tests.
 """
@@ -230,6 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base URL of a repro serve/stream process")
     stats.add_argument("--prefix", default="repro_",
                        help="only show metric families with this prefix")
+    stats.add_argument("--watch", type=float, default=None, metavar="N",
+                       help="refresh the table every N seconds "
+                            "(Ctrl-C to stop)")
+
+    top = sub.add_parser("top",
+                         help="live terminal dashboard over /health, "
+                              "/alerts, /stats and /timeline")
+    top.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="base URL of a repro serve/stream process")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (for scripts/CI)")
     return parser
 
 
@@ -243,6 +257,17 @@ def _add_obs_args(sub) -> None:
     sub.add_argument("--access-log", default=None,
                      help="append one JSONL line per HTTP request "
                           "(method, path, status, latency_ms, trace_id)")
+    sub.add_argument("--no-monitor", action="store_true",
+                     help="disable the self-monitoring timeline + SLO "
+                          "health engine (on by default)")
+    sub.add_argument("--monitor-interval", type=float, default=1.0,
+                     help="seconds between timeline samples")
+    sub.add_argument("--monitor-window", type=float, default=300.0,
+                     help="seconds of time-series history kept in memory "
+                          "(ring buffer; memory is fixed by window/interval)")
+    sub.add_argument("--latency-slo-ms", type=float, default=500.0,
+                     help="p99 request-latency ceiling for the "
+                          "latency_p99 health rule")
 
 
 def _add_retrieval_args(sub) -> None:
@@ -396,10 +421,25 @@ def _configure_obs(args) -> None:
                         path=args.trace_log)
 
 
+def _enable_monitoring(service, args) -> None:
+    """Attach the self-monitoring timeline + health engine (default on)."""
+    if args.no_monitor:
+        return
+    from .obs.health import default_rules
+    service.enable_monitoring(
+        interval_s=args.monitor_interval, window_s=args.monitor_window,
+        rules=default_rules(latency_ceiling_s=args.latency_slo_ms / 1e3))
+    print(f"self-monitoring: sampling every {args.monitor_interval:g}s, "
+          f"{args.monitor_window:g}s window, "
+          f"p99 SLO {args.latency_slo_ms:g} ms "
+          f"(/health /alerts /timeline, `repro top`)")
+
+
 def _cmd_serve(args) -> int:
     from .serve import make_server, serve_forever
     service = _build_service(args)
     _configure_obs(args)
+    _enable_monitoring(service, args)
     if not args.smoke:
         serve_forever(service, host=args.host, port=args.port,
                       access_log=args.access_log)
@@ -484,6 +524,7 @@ def _cmd_stream(args) -> int:
     for key, reason in manager.stats().get("unstreamable", {}).items():
         print(f"serving only (no stream) {key}: {reason}")
     _configure_obs(args)
+    _enable_monitoring(service, args)
     if not args.smoke:
         serve_forever(service, host=args.host, port=args.port,
                       access_log=args.access_log)
@@ -594,34 +635,52 @@ def _cmd_prof(args) -> int:
     return 0
 
 
-def _cmd_stats(args) -> int:
-    """Tabulate a running server's /metrics (+ /stats summary)."""
+def _render_stats(base: str, prefix: str) -> str:
+    """One ``repro stats`` frame: /metrics table + /stats latency lines."""
     import json as _json
     import urllib.request
     from .obs.metrics import parse_prometheus
-    base = args.url.rstrip("/")
     with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
         exposition = response.read().decode()
     samples = parse_prometheus(exposition)
     shown = sorted((name, labels, value)
                    for (name, labels), value in samples.items()
-                   if name.startswith(args.prefix)
+                   if name.startswith(prefix)
                    and not name.endswith("_bucket"))
     width = max((len(f"{n}{l}") for n, l, _ in shown), default=20)
-    for name, labels, value in shown:
-        print(f"{name + labels:<{width}}  {value:g}")
+    lines = [f"{name + labels:<{width}}  {value:g}"
+             for name, labels, value in shown]
     try:
         with urllib.request.urlopen(base + "/stats", timeout=10) as response:
             stats = _json.load(response)
     except Exception:
-        return 0
+        return "\n".join(lines)
     for scenario, counters in stats.get("scenarios", {}).items():
         latency = counters.get("latency_ms")
         if latency:
-            print(f"{scenario}: p50 {latency['p50']:.2f} ms  "
-                  f"p99 {latency['p99']:.2f} ms  "
-                  f"({latency['count']} requests)")
-    return 0
+            lines.append(f"{scenario}: p50 {latency['p50']:.2f} ms  "
+                         f"p99 {latency['p99']:.2f} ms  "
+                         f"({latency['count']} requests)")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args) -> int:
+    """Tabulate a running server's /metrics (+ /stats summary)."""
+    base = args.url.rstrip("/")
+    if args.watch is None:
+        print(_render_stats(base, args.prefix))
+        return 0
+    # --watch N reuses the `repro top` refresh loop (clear + redraw).
+    from .obs.top import watch_loop
+    return watch_loop(lambda: _render_stats(base, args.prefix),
+                      interval_s=args.watch)
+
+
+def _cmd_top(args) -> int:
+    """Live terminal dashboard: health, alerts, QPS sparkline, topology."""
+    from .obs.top import run_top
+    return run_top(args.url.rstrip("/"), interval_s=args.interval,
+                   once=args.once)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -631,7 +690,7 @@ def main(argv: list[str] | None = None) -> int:
                 "transfer": _cmd_transfer, "experiment": _cmd_experiment,
                 "serve": _cmd_serve, "bench-serve": _cmd_bench_serve,
                 "stream": _cmd_stream, "bench-stream": _cmd_bench_stream,
-                "prof": _cmd_prof, "stats": _cmd_stats}
+                "prof": _cmd_prof, "stats": _cmd_stats, "top": _cmd_top}
     return handlers[args.command](args)
 
 

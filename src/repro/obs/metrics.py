@@ -39,7 +39,8 @@ from threading import get_ident
 
 __all__ = ["Counter", "Gauge", "Histogram", "HistogramSnapshot",
            "MetricsRegistry", "REGISTRY", "counter", "gauge", "histogram",
-           "render_prometheus", "parse_prometheus", "merge_expositions",
+           "render_prometheus", "parse_prometheus", "parse_label_string",
+           "merge_expositions",
            "DEFAULT_BUCKETS", "DEFAULT_START", "DEFAULT_FACTOR"]
 
 #: Fixed histogram geometry: 64 buckets, √2 growth from 1e-6. Bucket i
@@ -488,6 +489,55 @@ def parse_prometheus(text: str) -> dict[tuple[str, str], float]:
     return samples
 
 
+_UNESCAPE = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def parse_label_string(label_str: str) -> dict[str, str]:
+    """Decode a rendered label string back into ``{name: value}``.
+
+    The escape-aware inverse of the exposition's label rendering:
+    quoted values may contain ``\\"``, ``\\\\`` and ``\\n`` (which is
+    why a naive ``split(",")`` cannot parse them). Accepts ``""`` for
+    an instrument with no labels. Raises ``ValueError`` on malformed
+    input.
+    """
+    if not label_str or label_str == "{}":
+        return {}
+    if not (label_str.startswith("{") and label_str.endswith("}")):
+        raise ValueError(f"malformed label string {label_str!r}")
+    body = label_str[1:-1]
+    out: dict[str, str] = {}
+    i, n = 0, len(body)
+    try:
+        while i < n:
+            eq = body.index("=", i)
+            key = body[i:eq]
+            if body[eq + 1] != '"':
+                raise ValueError(f"unquoted label value in {label_str!r}")
+            j = eq + 2
+            chars: list[str] = []
+            while True:
+                char = body[j]
+                if char == "\\":
+                    chars.append(_UNESCAPE.get(body[j + 1],
+                                               "\\" + body[j + 1]))
+                    j += 2
+                elif char == '"':
+                    j += 1
+                    break
+                else:
+                    chars.append(char)
+                    j += 1
+            out[key] = "".join(chars)
+            if j < n and body[j] == ",":
+                j += 1
+            i = j
+    except (IndexError, ValueError) as exc:
+        raise ValueError(
+            f"malformed label string {label_str!r}: {exc}") from exc
+    return out
+
+
 _META_RE = re.compile(r"^# (HELP|TYPE) (\S+)(?: (.*))?$")
 _SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
 
@@ -497,16 +547,18 @@ def merge_expositions(texts: list[str]) -> str:
 
     The pool parent calls this over its own render plus one exposition
     per worker process, so ``GET /metrics`` stays a single scrape
-    target. Samples with identical name + label set are **summed** —
-    valid for counters and for histograms because every process uses
-    the same deterministic bucket geometry (``DEFAULT_START`` /
+    target. **Counter and histogram** samples with identical name +
+    label set are summed — valid because every process uses the same
+    deterministic bucket geometry (``DEFAULT_START`` /
     ``DEFAULT_FACTOR``, or whatever geometry the instrument was created
     with, which is code- not state-derived), so ``_bucket``/``_sum``/
-    ``_count`` series line up exactly. Gauges are process-local and
-    normally appear in only one exposition (workers reset inherited
-    gauges on fork); a gauge that does appear in several is summed,
-    which is the right semantics for the depth/size gauges this
-    codebase uses. Family order and first-seen HELP text are preserved.
+    ``_count`` series line up exactly. **Gauges aggregate by max**, not
+    sum: a point-in-time reading (staleness seconds, rejection streak,
+    worker count) summed across N processes is meaningless, while max
+    reports the worst/authoritative reading — and since forked workers
+    reset inherited gauges to 0, the parent's authoritative value wins.
+    ``NaN`` gauge readings (dead callbacks) lose to any real value.
+    Family order and first-seen HELP text are preserved.
     """
     helps: dict[str, str] = {}
     kinds: dict[str, str] = {}
@@ -543,7 +595,16 @@ def merge_expositions(texts: list[str]) -> str:
                 family_order.append(family)
             key = (name, labels or "")
             if key in values:
-                values[key] += float(value)
+                fresh = float(value)
+                if kinds.get(family) == "gauge":
+                    old = values[key]
+                    # Prefer any real reading over NaN; otherwise max.
+                    if math.isnan(old):
+                        values[key] = fresh
+                    elif not math.isnan(fresh):
+                        values[key] = max(old, fresh)
+                else:
+                    values[key] += fresh
             else:
                 values[key] = float(value)
                 rows.setdefault(family, []).append(key)

@@ -1,0 +1,413 @@
+"""Fixed-memory ring-buffer time-series over the metrics registry.
+
+The registry (:mod:`repro.obs.metrics`) answers "what is the value
+now"; an operator also needs "what happened over the last five
+minutes" without running an external Prometheus. :class:`Timeline`
+closes that gap: a background sampler parses the service's own
+``/metrics`` exposition on a fixed interval and appends one point per
+instrument to a per-series ring buffer.
+
+Design constraints, in order:
+
+1. **O(1) memory forever.** Every series is a ``deque(maxlen=capacity)``
+   with ``capacity = ceil(window / interval) + 1``; sampling for a year
+   retains exactly the same number of points as sampling for an hour.
+   Scalar points are ``(ts, value)``; histogram points keep the
+   cumulative bucket vector ``(ts, cum_counts, count, sum)`` so any two
+   points diff into a :class:`~repro.obs.metrics.HistogramSnapshot`
+   covering exactly the observations between them.
+2. **One code path for both serving tiers.** The source is the rendered
+   exposition (``service.metrics_text()``), not the live instruments —
+   the in-process tier samples the global registry's render, the pooled
+   tier samples the already-merged multi-process exposition, so
+   ``GET /timeline`` is merged across pool workers exactly like
+   ``GET /metrics`` with zero extra plumbing.
+3. **Counters derive rates, not levels.** Query APIs (:meth:`rate`,
+   :meth:`increase`, :meth:`quantile`) operate on windowed deltas with
+   per-pair reset clamping (a restarted worker's counter dropping to 0
+   never produces a negative rate).
+
+The health engine (:mod:`repro.obs.health`) registers an
+:meth:`add_listener` callback and evaluates its SLO rules after every
+sample, so detection latency is bounded by one sampling interval.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+
+from . import metrics
+from .metrics import HistogramSnapshot, parse_label_string
+
+__all__ = ["Timeline", "TimelineSeries", "collect_families"]
+
+
+def collect_families(text: str) -> dict:
+    """Parse one exposition into typed families.
+
+    Returns ``{"kinds": {family: kind}, "scalars": {(family, labels):
+    value}, "histograms": {(family, base_labels): {"buckets": {le:
+    value}, "sum": s, "count": n}}}``. Histogram ``_bucket``/``_sum``/
+    ``_count`` component series are folded back into one family entry
+    keyed by the label set *without* ``le`` (re-rendered canonically so
+    the key matches across samples).
+    """
+    kinds: dict[str, str] = {}
+    scalars: dict[tuple[str, str], float] = {}
+    hists: dict[tuple[str, str], dict] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        meta = metrics._META_RE.match(line)
+        if meta is not None:
+            keyword, name, rest = meta.groups()
+            if keyword == "TYPE" and name not in kinds:
+                kinds[name] = rest or "untyped"
+            continue
+        if line.startswith("#"):
+            continue
+        match = metrics._SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name, labels, value = match.groups()
+        labels = labels or ""
+        family = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if kinds.get(base) == "histogram":
+                    family = base
+                    break
+        if family is None:
+            scalars[(name, labels)] = float(value)
+            continue
+        decoded = parse_label_string(labels)
+        le = decoded.pop("le", None)
+        base_labels = metrics._render_labels(metrics._label_key(decoded))
+        entry = hists.setdefault((family, base_labels),
+                                 {"buckets": {}, "sum": 0.0, "count": 0.0})
+        if name.endswith("_bucket"):
+            if le is not None:
+                entry["buckets"][le] = float(value)
+        elif name.endswith("_sum"):
+            entry["sum"] = float(value)
+        else:
+            entry["count"] = float(value)
+    return {"kinds": kinds, "scalars": scalars, "histograms": hists}
+
+
+class TimelineSeries:
+    """One instrument's bounded ring of samples."""
+
+    __slots__ = ("name", "labels", "kind", "points", "bounds", "le_keys")
+
+    def __init__(self, name: str, labels: str, kind: str, capacity: int):
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        #: scalar point: ``(ts, value)``; histogram point:
+        #: ``(ts, cum_counts_tuple, count, sum)``.
+        self.points: deque = deque(maxlen=capacity)
+        self.bounds: list[float] | None = None   # finite le uppers
+        self.le_keys: list[str] | None = None    # exposition key order
+
+    def window_points(self, now: float, window_s: float) -> list:
+        """Points inside ``[now - window_s, now]`` plus one baseline.
+
+        The newest point *older* than the window edge is prepended when
+        available: a delta across the edge then covers exactly the
+        in-window activity, and a rule evaluated right after the first
+        in-window increment still sees it.
+        """
+        start = now - window_s
+        selected = [p for p in self.points if p[0] >= start]
+        older = [p for p in self.points if p[0] < start]
+        if older:
+            selected.insert(0, older[-1])
+        return selected
+
+
+def _increase(points: list) -> float:
+    """Summed positive deltas between consecutive scalar points.
+
+    Per-pair clamping makes counter resets (a worker restart dropping a
+    merged counter) read as "no increase", never a negative one.
+    """
+    total = 0.0
+    for (_, v0), (_, v1) in zip(points, points[1:]):
+        delta = v1 - v0
+        if delta > 0:
+            total += delta
+    return total
+
+
+class Timeline:
+    """Background sampler + bounded store + windowed query API."""
+
+    def __init__(self, window_s: float = 300.0, interval_s: float = 1.0,
+                 source=None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if window_s < interval_s:
+            raise ValueError("window_s must be >= interval_s")
+        self.window_s = float(window_s)
+        self.interval_s = float(interval_s)
+        self.capacity = int(math.ceil(window_s / interval_s)) + 1
+        self._source = source if source is not None \
+            else metrics.render_prometheus
+        self._series: dict[tuple[str, str], TimelineSeries] = {}
+        self._listeners: list = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_taken = 0
+        self.last_sample_ts: float | None = None
+        self._m_samples = metrics.counter(
+            "repro_timeline_samples_total", "timeline sampling ticks")
+        self._m_errors = metrics.counter(
+            "repro_timeline_sample_errors_total",
+            "timeline ticks whose exposition scrape failed")
+
+    # -- collection ----------------------------------------------------------
+
+    def _get_series(self, name: str, labels: str,
+                    kind: str) -> TimelineSeries:
+        key = (name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = TimelineSeries(name, labels, kind, self.capacity)
+            self._series[key] = series
+        return series
+
+    def sample(self, now: float | None = None) -> float:
+        """Take one sample of every instrument; returns the timestamp."""
+        now = time.time() if now is None else float(now)
+        try:
+            families = collect_families(self._source())
+        except Exception:   # a bad scrape must not kill the sampler
+            self._m_errors.inc()
+            return now
+        with self._lock:
+            kinds = families["kinds"]
+            for (name, labels), value in families["scalars"].items():
+                series = self._get_series(name, labels,
+                                          kinds.get(name, "untyped"))
+                series.points.append((now, value))
+            for (name, labels), data in families["histograms"].items():
+                series = self._get_series(name, labels, "histogram")
+                if series.le_keys is None:
+                    finite = [le for le in data["buckets"] if le != "+Inf"]
+                    finite.sort(key=float)
+                    series.le_keys = finite
+                    series.bounds = [float(le) for le in finite]
+                cum = tuple(data["buckets"].get(le, 0.0)
+                            for le in series.le_keys)
+                series.points.append((now, cum, data["count"],
+                                      data["sum"]))
+            self.samples_taken += 1
+            self.last_sample_ts = now
+        self._m_samples.inc()
+        for listener in list(self._listeners):
+            try:
+                listener(now)
+            except Exception:   # pragma: no cover - listener bug guard
+                pass
+        return now
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(ts)`` after every sample (health rule evaluation)."""
+        self._listeners.append(fn)
+
+    # -- background sampler --------------------------------------------------
+
+    def start(self) -> threading.Thread:
+        if self._thread is not None:
+            return self._thread
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-timeline", daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def _loop(self) -> None:
+        self.sample()
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    # -- queries -------------------------------------------------------------
+
+    def _matching(self, metric: str, label_pred=None) -> list[TimelineSeries]:
+        out = []
+        for (name, labels), series in self._series.items():
+            if name != metric:
+                continue
+            if label_pred is not None and not label_pred(labels):
+                continue
+            out.append(series)
+        return out
+
+    def metric_names(self) -> list[str]:
+        with self._lock:
+            return sorted({name for name, _ in self._series})
+
+    def latest_values(self, metric: str, label_pred=None) -> list[float]:
+        """Newest scalar reading per matching series (NaN included)."""
+        with self._lock:
+            out = []
+            for series in self._matching(metric, label_pred):
+                if series.kind == "histogram" or not series.points:
+                    continue
+                out.append(series.points[-1][1])
+            return out
+
+    def increase(self, metric: str, window_s: float | None = None,
+                 label_pred=None, now: float | None = None) -> float | None:
+        """Summed counter increase over the window; None = no data yet."""
+        window_s = self.window_s if window_s is None else window_s
+        with self._lock:
+            now = self._now(now)
+            total, seen = 0.0, False
+            for series in self._matching(metric, label_pred):
+                if series.kind == "histogram":
+                    continue
+                points = series.window_points(now, window_s)
+                if len(points) >= 2:
+                    seen = True
+                    total += _increase(points)
+            return total if seen else None
+
+    def rate(self, metric: str, window_s: float | None = None,
+             label_pred=None, now: float | None = None) -> float | None:
+        """Increase per second over the window (delta-rate for counters)."""
+        window_s = self.window_s if window_s is None else window_s
+        with self._lock:
+            now = self._now(now)
+            total, span = 0.0, 0.0
+            for series in self._matching(metric, label_pred):
+                if series.kind == "histogram":
+                    continue
+                points = series.window_points(now, window_s)
+                if len(points) >= 2:
+                    total += _increase(points)
+                    span = max(span, points[-1][0] - points[0][0])
+            return total / span if span > 0 else None
+
+    def histogram_window(self, metric: str,
+                         window_s: float | None = None,
+                         now: float | None = None
+                         ) -> HistogramSnapshot | None:
+        """Merged snapshot of observations made inside the window."""
+        window_s = self.window_s if window_s is None else window_s
+        with self._lock:
+            now = self._now(now)
+            merged: HistogramSnapshot | None = None
+            for series in self._matching(metric):
+                if series.kind != "histogram" or series.bounds is None:
+                    continue
+                points = series.window_points(now, window_s)
+                if len(points) < 2:
+                    continue
+                snap = _delta_snapshot(points[0], points[-1],
+                                       series.bounds)
+                if merged is None:
+                    merged = snap
+                elif merged.bounds == snap.bounds:
+                    merged = HistogramSnapshot(
+                        [a + b for a, b in zip(merged.counts, snap.counts)],
+                        merged.total + snap.total,
+                        merged.sum + snap.sum, merged.bounds)
+            return merged
+
+    def quantile(self, metric: str, q: float,
+                 window_s: float | None = None,
+                 now: float | None = None) -> float | None:
+        snap = self.histogram_window(metric, window_s, now=now)
+        if snap is None or snap.total <= 0:
+            return None
+        return snap.quantile(q)
+
+    def _now(self, now: float | None) -> float:
+        if now is not None:
+            return float(now)
+        return self.last_sample_ts if self.last_sample_ts is not None \
+            else time.time()
+
+    # -- export (GET /timeline) ----------------------------------------------
+
+    def export(self, metric: str | None = None,
+               window_s: float | None = None) -> dict:
+        """JSON-ready series for ``GET /timeline``.
+
+        Without ``metric``: the list of sampled metric names. With one:
+        per-label-set point arrays — ``[ts, rate]`` for counters
+        (consecutive delta-rate), ``[ts, value]`` for gauges, and
+        ``[ts, rate, p50, p99]`` for histograms (per-tick deltas).
+        """
+        if metric is None:
+            return {"monitoring": True, "metrics": self.metric_names(),
+                    "window_s": self.window_s,
+                    "interval_s": self.interval_s,
+                    "samples": self.samples_taken}
+        window_s = self.window_s if window_s is None else float(window_s)
+        with self._lock:
+            now = self._now(None)
+            out = {"monitoring": True, "metric": metric,
+                   "window_s": window_s, "interval_s": self.interval_s,
+                   "series": []}
+            for series in self._matching(metric):
+                points = series.window_points(now, window_s)
+                entry = {"labels": series.labels, "kind": series.kind,
+                         "points": _export_points(series, points)}
+                out["series"].append(entry)
+            return out
+
+
+def _delta_snapshot(p0, p1, bounds: list[float]) -> HistogramSnapshot:
+    """Diff two cumulative histogram points into a per-bucket snapshot."""
+    _, cum0, count0, sum0 = p0
+    _, cum1, count1, sum1 = p1
+    per_bucket: list[int] = []
+    prev0 = prev1 = 0.0
+    for c0, c1 in zip(cum0, cum1):
+        per_bucket.append(int(max((c1 - prev1) - (c0 - prev0), 0)))
+        prev0, prev1 = c0, c1
+    overflow = int(max((count1 - prev1) - (count0 - prev0), 0))
+    per_bucket.append(overflow)
+    total = int(max(count1 - count0, 0))
+    return HistogramSnapshot(per_bucket, total, sum1 - sum0, bounds)
+
+
+def _export_points(series: TimelineSeries, points: list) -> list:
+    if series.kind == "histogram":
+        out = []
+        for p0, p1 in zip(points, points[1:]):
+            dt = p1[0] - p0[0]
+            if dt <= 0:
+                continue
+            snap = _delta_snapshot(p0, p1, series.bounds or [])
+            if snap.total > 0:
+                out.append([p1[0], snap.total / dt,
+                            snap.quantile(0.50), snap.quantile(0.99)])
+            else:
+                out.append([p1[0], 0.0, None, None])
+        return out
+    if series.kind == "counter":
+        out = []
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            dt = t1 - t0
+            if dt <= 0:
+                continue
+            out.append([t1, max(v1 - v0, 0.0) / dt])
+        return out
+    return [[ts, None if math.isnan(value) else value]
+            for ts, value in points]

@@ -1,0 +1,197 @@
+"""``repro top`` — a live terminal dashboard over the serving HTTP API.
+
+One screen answers "is it healthy and what is it doing": tri-state
+health with active alerts, a QPS sparkline derived from the timeline's
+counter rates, per-scenario request/latency/cache rows, pool topology
+and stream totals. Everything is fetched over plain HTTP (``/stats``,
+``/health``, ``/alerts``, ``/timeline``), so the dashboard attaches to
+any running ``repro serve`` / ``repro stream`` without touching the
+process.
+
+The refresh loop (:func:`watch_loop`) is shared with
+``repro stats --watch N`` — render function in, ANSI clear-and-redraw
+out. ``--once`` renders a single frame without clearing, which is what
+the CI obs-smoke job archives as a build artifact.
+
+Rendering is a pure function of the fetched snapshot
+(:func:`render_dashboard`), so tests exercise the layout without a
+server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["fetch_snapshot", "render_dashboard", "sparkline",
+           "watch_loop", "run_top"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+#: The counter whose summed delta-rate is the dashboard's QPS series.
+QPS_METRIC = "repro_http_requests_total"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Unicode block sparkline of the last ``width`` values."""
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _BLOCKS[0] * len(vals)
+    span = hi - lo
+    top = len(_BLOCKS) - 1
+    return "".join(_BLOCKS[min(int((v - lo) / span * top + 0.5), top)]
+                   for v in vals)
+
+
+def _get_json(url: str, timeout: float) -> dict:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        # /health answers 503 while failing — the body is still the
+        # status JSON and exactly what the dashboard needs to show.
+        body = exc.read().decode()
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError:
+            raise exc from None
+
+
+def fetch_snapshot(base_url: str, timeout: float = 10.0) -> dict:
+    """One dashboard frame's worth of data from a running server."""
+    base = base_url.rstrip("/")
+    snapshot = {"url": base, "time": time.time()}
+    snapshot["stats"] = _get_json(base + "/stats", timeout)
+    snapshot["health"] = _get_json(base + "/health", timeout)
+    snapshot["alerts"] = _get_json(base + "/alerts", timeout)
+    try:
+        snapshot["timeline"] = _get_json(
+            base + f"/timeline?metric={QPS_METRIC}", timeout)
+    except Exception:   # timeline is an enhancement, not a requirement
+        snapshot["timeline"] = {}
+    return snapshot
+
+
+def _qps_points(timeline_payload: dict) -> list[float]:
+    """Sum per-label-set counter rates into one QPS series by tick."""
+    by_ts: dict[float, float] = {}
+    for series in timeline_payload.get("series", []):
+        if series.get("kind") != "counter":
+            continue
+        for point in series.get("points", []):
+            ts, rate = point[0], point[1]
+            if rate is not None:
+                by_ts[ts] = by_ts.get(ts, 0.0) + rate
+    return [by_ts[ts] for ts in sorted(by_ts)]
+
+
+def _fmt(value, pattern: str = "{:.2f}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+def render_dashboard(snapshot: dict, width: int = 78) -> str:
+    """Pure snapshot → screen text (testable without a server)."""
+    stats = snapshot.get("stats", {})
+    health = snapshot.get("health", {})
+    alerts = snapshot.get("alerts", {})
+    lines: list[str] = []
+
+    stamp = time.strftime(
+        "%Y-%m-%d %H:%M:%S",
+        time.localtime(snapshot.get("time", time.time())))
+    title = f"repro top — {snapshot.get('url', '')}"
+    pad = max(width - len(stamp) - len(title), 1)
+    lines.append(title + " " * pad + stamp)
+
+    status = str(health.get("status", "unknown")).upper()
+    active = alerts.get("active", [])
+    monitoring = "on" if health.get("monitoring") else "off"
+    lines.append(f"health: {status}   alerts: {len(active)} active   "
+                 f"monitoring: {monitoring}")
+
+    qps = _qps_points(snapshot.get("timeline", {}))
+    if qps:
+        lines.append(f"qps  {sparkline(qps):<32}  "
+                     f"now {qps[-1]:,.1f} req/s")
+    lines.append("")
+
+    header = (f"{'scenario':<30} {'requests':>9} {'p50 ms':>8} "
+              f"{'p99 ms':>8} {'hit %':>6}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, counters in sorted(stats.get("scenarios", {}).items()):
+        latency = counters.get("latency_ms") or {}
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        total = hits + misses
+        hit_pct = 100.0 * hits / total if total else 0.0
+        lines.append(f"{name:<30} {counters.get('requests', 0):>9} "
+                     f"{_fmt(latency.get('p50')):>8} "
+                     f"{_fmt(latency.get('p99')):>8} "
+                     f"{hit_pct:>6.1f}")
+
+    pool = stats.get("pool", {})
+    if pool.get("mode") == "pool":
+        per_worker = pool.get("per_worker", [])
+        topology = ", ".join(
+            f"pid {w.get('pid')}:"
+            f"{'up' if w.get('alive') else 'DOWN'}"
+            for w in per_worker)
+        lines.append("")
+        lines.append(f"pool: {pool.get('alive', 0)}/"
+                     f"{pool.get('workers', 0)} workers alive   "
+                     f"[{topology}]")
+    else:
+        lines.append("")
+        lines.append("pool: in-process")
+
+    stream = stats.get("stream")
+    if isinstance(stream, dict) and "totals" in stream:
+        totals = stream["totals"]
+        staleness = totals.get("max_staleness_s")
+        lines.append(f"stream: swaps {totals.get('swaps', 0)} "
+                     f"({totals.get('swaps_rejected', 0)} rejected), "
+                     f"events {totals.get('events_total', 0)}, "
+                     f"max staleness {_fmt(staleness, '{:.1f}')} s")
+
+    if active:
+        lines.append("")
+        lines.append("active alerts:")
+        for alert in active:
+            lines.append(f"  [{alert.get('severity')}] "
+                         f"{alert.get('rule')}: {alert.get('cause')}")
+    return "\n".join(lines)
+
+
+def watch_loop(render, interval_s: float = 2.0, once: bool = False,
+               out=None, iterations: int | None = None,
+               clear: bool = True) -> int:
+    """Refresh ``render()`` until interrupted (top / stats --watch)."""
+    out = out if out is not None else sys.stdout
+    count = 0
+    try:
+        while True:
+            text = render()
+            if clear and not once:
+                out.write("\x1b[2J\x1b[H")
+            out.write(text.rstrip("\n") + "\n")
+            out.flush()
+            count += 1
+            if once or (iterations is not None and count >= iterations):
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:   # pragma: no cover - interactive only
+        return 0
+
+
+def run_top(url: str, interval_s: float = 2.0, once: bool = False,
+            iterations: int | None = None, out=None) -> int:
+    """Entry point behind ``repro top``."""
+    return watch_loop(lambda: render_dashboard(fetch_snapshot(url)),
+                      interval_s=interval_s, once=once,
+                      iterations=iterations, out=out)

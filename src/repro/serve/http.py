@@ -6,7 +6,19 @@ reproduction-scale deployment and keeps the dependency surface at zero.
 Endpoint contract (all bodies JSON):
 
 ``GET /health``
-    ``{"status": "ok", "scenarios": <count>}``
+    readiness + liveness: ``{"status": "ok"|"degraded"|"failing",
+    "causes": [...], "scenarios": <count>, ...}`` from the service's
+    self-monitor (``repro.obs.health``) — HTTP **503** when failing so
+    load balancers can eject the instance; services without monitoring
+    enabled answer the legacy unconditional ``ok``
+``GET /alerts``
+    active alerts + the bounded fired/resolved edge history + the rule
+    set (``{"monitoring": false, ...}`` when self-monitoring is off)
+``GET /timeline?metric=NAME&window=SECONDS``
+    ring-buffer time-series export from the self-monitor's timeline —
+    delta-rates for counters, values for gauges, rate/p50/p99 per tick
+    for histograms; without ``metric`` lists the sampled metric names.
+    Merged across pool workers exactly like ``/metrics``
 ``GET /scenarios``
     list of scenario descriptors (dataset, model, catalogue size, index
     version/bytes)
@@ -46,6 +58,7 @@ import threading
 import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from ..obs import metrics, trace
 from .service import RecommendationService
@@ -55,7 +68,8 @@ __all__ = ["RecommendationServer", "make_server", "serve_forever"]
 #: Routes counted individually on ``repro_http_requests_total``; anything
 #: else collapses into ``other`` so label cardinality stays bounded no
 #: matter what paths clients probe.
-_KNOWN_ROUTES = frozenset({"/health", "/scenarios", "/stats", "/metrics",
+_KNOWN_ROUTES = frozenset({"/health", "/alerts", "/timeline", "/scenarios",
+                           "/stats", "/metrics",
                            "/recommend", "/refresh", "/events", "/swap"})
 
 
@@ -144,7 +158,10 @@ class _Handler(BaseHTTPRequestHandler):
             route()
         finally:
             elapsed = time.perf_counter() - tick
-            path = self.path if self.path in _KNOWN_ROUTES else "other"
+            # Strip the query string so /timeline?metric=... collapses
+            # into the /timeline label (bounded cardinality).
+            bare = self.path.partition("?")[0]
+            path = bare if bare in _KNOWN_ROUTES else "other"
             metrics.counter(
                 "repro_http_requests_total", "HTTP requests served",
                 labels={"path": path, "method": self.command,
@@ -156,15 +173,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_get(self) -> None:
         service = self.server.service
+        path, _, query = self.path.partition("?")
         try:
-            if self.path == "/health":
-                self._send({"status": "ok",
-                            "scenarios": len(service.registry)})
-            elif self.path == "/scenarios":
+            if path == "/health":
+                # The service's self-monitor decides readiness; duck
+                # services without the hook answer the legacy shape.
+                health = getattr(service, "health", None)
+                payload = health() if health is not None else \
+                    {"status": "ok", "monitoring": False,
+                     "scenarios": len(service.registry)}
+                status = 503 if payload.get("status") == "failing" else 200
+                self._send(payload, status=status)
+            elif path == "/alerts":
+                alerts = getattr(service, "alerts", None)
+                self._send(alerts() if alerts is not None else
+                           {"monitoring": False, "status": "ok",
+                            "active": [], "history": [], "rules": []})
+            elif path == "/timeline":
+                params = parse_qs(query)
+                metric = params.get("metric", [None])[0]
+                window = params.get("window", [None])[0]
+                exporter = getattr(service, "timeline_export", None)
+                if exporter is None:
+                    self._send({"monitoring": False, "metrics": [],
+                                "series": []})
+                else:
+                    self._send(exporter(
+                        metric,
+                        window_s=float(window) if window else None))
+            elif path == "/scenarios":
                 self._send(service.scenarios())
-            elif self.path == "/stats":
+            elif path == "/stats":
                 self._send(service.stats())
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 # The service decides what one scrape means: in-process
                 # renders the global registry, the pooled tier merges
                 # per-worker expositions into it. Duck services without
@@ -175,6 +216,8 @@ class _Handler(BaseHTTPRequestHandler):
                                  "text/plain; version=0.0.4")
             else:
                 self._error(f"unknown route {self.path!r}", 404)
+        except ValueError as exc:
+            self._error(str(exc), 400)
         except Exception as exc:  # noqa: BLE001 - boundary of the server
             self._internal_error(exc)
 

@@ -54,6 +54,7 @@ from ..obs import metrics
 from .batcher import MicroBatcher
 from .index import FrozenCatalogIndex
 from .registry import ModelRegistry, Scenario
+from .service import SelfMonitoring
 
 __all__ = ["PoolError", "WorkerDied", "SharedCatalogStore", "WorkerPool",
            "PooledRecommendationService"]
@@ -484,6 +485,14 @@ class WorkerPool:
             "repro_pool_workers_alive",
             "live worker processes in the serving pool").set_function(
                 lambda: sum(h.alive for h in self._workers))
+        metrics.gauge(
+            "repro_pool_workers_total",
+            "worker processes the pool was started with").set_function(
+                lambda: len(self._workers))
+        self._m_deaths = metrics.counter(
+            "repro_pool_worker_deaths_total",
+            "pool worker processes that died unexpectedly "
+            "(clean shutdown is not counted)")
         self._workers: list[_WorkerHandle] = []
         for worker_id in range(workers):
             parent_conn, child_conn = context.Pipe()
@@ -562,6 +571,11 @@ class WorkerPool:
             handle.pending.clear()
             control = list(handle.control.values())
             handle.control.clear()
+        if not self._closed:
+            # An unexpected death is a health event (the increase rule
+            # `pool_worker_death` watches this counter); the mass
+            # _mark_dead sweep inside close() is not.
+            self._m_deaths.inc()
         error = WorkerDied(f"pool worker {handle.id} died")
         for future in pending + control:
             if not future.done():
@@ -785,9 +799,17 @@ class WorkerPool:
             except Exception:  # pragma: no cover - teardown best effort
                 pass
         self._store.close()
+        # The topology pull-gauges must not outlive the pool in the
+        # process-global registry: a later service in this process would
+        # read a dead pool (total N / alive 0) and false-fire the
+        # pool_workers_dead liveness rule. Clearing the callbacks drops
+        # both gauges back to their static default of 0 ("no pool"),
+        # which keeps the guarded rule dormant.
+        metrics.gauge("repro_pool_workers_alive").set_function(None)
+        metrics.gauge("repro_pool_workers_total").set_function(None)
 
 
-class PooledRecommendationService:
+class PooledRecommendationService(SelfMonitoring):
     """Drop-in :class:`RecommendationService` over a process pool.
 
     Same duck surface as the in-process service (the HTTP front, CLI
@@ -933,6 +955,7 @@ class PooledRecommendationService:
     def close(self) -> None:
         if self._closed:
             return
+        self._close_monitor()              # stop sampling before teardown
         stream, self.stream = self.stream, None
         if stream is not None:
             stream.close()                 # stop fine-tune workers first

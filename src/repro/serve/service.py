@@ -26,10 +26,68 @@ from .batcher import BatcherClosed, MicroBatcher
 from .recommender import Recommendation
 from .registry import ModelRegistry, Scenario
 
-__all__ = ["RecommendationService"]
+__all__ = ["RecommendationService", "SelfMonitoring"]
 
 
-class RecommendationService:
+class SelfMonitoring:
+    """Health/timeline surface shared by both serving tiers.
+
+    Mixed into :class:`RecommendationService` and the pooled service so
+    ``GET /health`` / ``GET /alerts`` / ``GET /timeline`` read the same
+    on every deployment shape. Without :meth:`enable_monitoring` the
+    surface degrades gracefully: ``/health`` stays the legacy
+    unconditional-``ok`` payload, the other endpoints report
+    ``monitoring: false``.
+    """
+
+    monitor = None      # set by enable_monitoring()
+
+    def enable_monitoring(self, interval_s: float = 1.0,
+                          window_s: float = 300.0, rules=None,
+                          start: bool = True):
+        """Attach a timeline + SLO health monitor (idempotent).
+
+        The monitor samples this service's own ``metrics_text()`` —
+        already merged across pool workers on the pooled tier — every
+        ``interval_s`` seconds and evaluates its rules after each
+        sample. ``start=False`` skips the background thread so tests
+        can drive ``monitor.timeline.sample()`` deterministically.
+        """
+        if self.monitor is None:
+            from ..obs.health import monitor_service
+            self.monitor = monitor_service(
+                self, interval_s=interval_s, window_s=window_s,
+                rules=rules, start=start)
+        return self.monitor
+
+    def health(self) -> dict:
+        """The ``GET /health`` body; 503-worthy iff status is failing."""
+        if self.monitor is None:
+            return {"status": "ok", "monitoring": False, "causes": [],
+                    "scenarios": len(self.registry)}
+        payload = self.monitor.status()
+        payload["scenarios"] = len(self.registry)
+        return payload
+
+    def alerts(self) -> dict:
+        if self.monitor is None:
+            return {"monitoring": False, "status": "ok",
+                    "active": [], "history": [], "rules": []}
+        return self.monitor.alerts()
+
+    def timeline_export(self, metric: str | None = None,
+                        window_s: float | None = None) -> dict:
+        if self.monitor is None:
+            return {"monitoring": False, "metrics": [], "series": []}
+        return self.monitor.timeline.export(metric, window_s=window_s)
+
+    def _close_monitor(self) -> None:
+        monitor, self.monitor = self.monitor, None
+        if monitor is not None:
+            monitor.close()
+
+
+class RecommendationService(SelfMonitoring):
     """Route requests to scenarios, micro-batching each scenario's load."""
 
     def __init__(self, registry: ModelRegistry, max_batch: int = 32,
@@ -237,6 +295,7 @@ class RecommendationService:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        self._close_monitor()       # stop the sampler before its sources
         stream, self.stream = self.stream, None
         if stream is not None:
             stream.close()          # stop fine-tune workers first

@@ -82,8 +82,15 @@ class StreamManager:
         out: dict = dict(per)
         out["totals"] = {
             name: sum(stats[name] for stats in per.values())
-            for name in ("swaps", "swaps_rejected", "shadow_evals",
-                         "gate_evals", "round_errors")}
+            for name in ("events_total", "swaps", "swaps_rejected",
+                         "shadow_evals", "gate_evals", "round_errors")}
+        # Worst-case freshness across scenarios: the health rules (and
+        # `repro top`) care about the most stale / most rejected worker,
+        # not the sum.
+        out["totals"]["max_staleness_s"] = max(
+            (stats["staleness_s"] for stats in per.values()), default=0.0)
+        out["totals"]["max_rejection_streak"] = max(
+            (stats["rejection_streak"] for stats in per.values()), default=0)
         if self._unstreamable:
             out["unstreamable"] = dict(self._unstreamable)
         return out

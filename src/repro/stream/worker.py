@@ -235,6 +235,7 @@ class FineTuneWorker:
         # scenario-labeled and monotonic across worker generations;
         # _Counters stays the per-instance truth behind stats_json().
         scope = {"scenario": f"{key[0]}:{key[1]}"}
+        self._scope = scope
         self._m_events = {
             kind: metrics.counter("repro_stream_events_total",
                                   "ingested events by kind",
@@ -273,6 +274,18 @@ class FineTuneWorker:
         metrics.gauge("repro_stream_catalogue_items",
                       "catalogue size including cold items",
                       labels=scope).set_function(lambda: self.data.num_items)
+        # Self-monitoring inputs (repro.obs.health default rules): how
+        # long since this scenario last published, and how many gate
+        # rejections in a row. Pull-mode so the timeline sampler reads
+        # live values with zero hot-path bookkeeping.
+        metrics.gauge("repro_stream_staleness_seconds",
+                      "seconds since this scenario last published a swap",
+                      labels=scope).set_function(
+                          lambda: time.time() - self._last_swap_time)
+        metrics.gauge("repro_stream_rejection_streak",
+                      "consecutive eval-gate swap rejections",
+                      labels=scope).set_function(
+                          lambda: self._rejection_streak)
         # Per-instance (unregistered) swap-latency histogram: stats_json
         # reads p50/p99 from its ~64 buckets in O(1) — the bounded deque
         # + percentile pass it replaces — without bleeding another
@@ -281,6 +294,7 @@ class FineTuneWorker:
         self._published_items = scenario.dataset.num_items
         self._started = time.time()
         self._last_swap_time = self._started
+        self._rejection_streak = 0
         self._events_since_round = 0
         self._events_at_last_swap = 0
         self._steps_since_swap = 0
@@ -871,6 +885,7 @@ class FineTuneWorker:
                     with self._stats_lock:
                         self.counters.swaps_rejected += 1
                         self.counters.last_rejection = rejection
+                        self._rejection_streak += 1
                         if self.config.gate_reset_on_reject:
                             self._steps_since_swap = 0
                     self._m_swaps["rejected"].inc()
@@ -933,6 +948,7 @@ class FineTuneWorker:
             self._steps_since_swap = 0
             self._events_at_last_swap = events_total
             self._last_swap_time = time.time()
+            self._rejection_streak = 0     # a publish clears the streak
             self.counters.swaps += 1
             self.counters.swap_last_ms = latency_ms
         self._m_swaps[kind].inc()
@@ -999,6 +1015,7 @@ class FineTuneWorker:
                     "events_since_swap": events_total
                     - self._events_at_last_swap,
                     "staleness_s": time.time() - self._last_swap_time,
+                    "rejection_streak": self._rejection_streak,
                     "published_items": self._published_items,
                     "eval_users": len(self._eval_users),
                     "eval_examples": (len(self._eval_frozen)
@@ -1034,6 +1051,16 @@ class FineTuneWorker:
         if self._thread is not None:
             self._thread.join(timeout=30.0)
             self._thread = None
+        # Detach this worker's pull-gauges from the process-global
+        # registry: a closed worker's staleness callback would grow
+        # forever and keep the health engine's worst-label-set
+        # threshold rules firing for a scenario nobody serves anymore.
+        # The values fall back to the static default of 0.
+        for name in ("repro_stream_buffer_depth",
+                     "repro_stream_catalogue_items",
+                     "repro_stream_staleness_seconds",
+                     "repro_stream_rejection_streak"):
+            metrics.gauge(name, labels=self._scope).set_function(None)
         self.log.close()
 
     def __enter__(self) -> "FineTuneWorker":

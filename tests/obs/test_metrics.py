@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.obs.metrics import (DEFAULT_FACTOR, Histogram, MetricsRegistry,
+                               merge_expositions, parse_label_string,
                                parse_prometheus)
 
 
@@ -231,3 +232,79 @@ def test_registry_json_snapshot(registry):
     snap = registry.snapshot()
     assert snap["snap_total"]["k=v"] == 2.0
     assert snap["snap_seconds"][""]["count"] == 1
+
+
+# -- cross-process merge semantics --------------------------------------------
+
+
+def _worker_exposition(counter_value, gauge_value, observations):
+    registry = MetricsRegistry()
+    registry.counter("m_requests_total",
+                     labels={"path": "/x"}).inc(counter_value)
+    registry.gauge("m_staleness_seconds").set(gauge_value)
+    hist = registry.histogram("m_seconds")
+    for value in observations:
+        hist.observe(value)
+    return registry.render()
+
+
+def test_merge_counters_sum_but_gauges_take_max():
+    """Pin the merge semantics: summing a level (staleness, streaks,
+    queue depth) across processes is meaningless — the fleet's health
+    is its worst member, so gauges aggregate by max."""
+    merged = parse_prometheus(merge_expositions([
+        _worker_exposition(3, 10.0, [1e-3]),
+        _worker_exposition(4, 250.0, [1e-3, 1e-2])]))
+    assert merged[("m_requests_total", '{path="/x"}')] == 7.0
+    assert merged[("m_staleness_seconds", "")] == 250.0   # max, not 260
+    assert merged[("m_seconds_count", "")] == 3.0         # histograms sum
+
+
+def test_merge_gauge_nan_loses_to_any_real_reading():
+    """A forked worker renders parent pull-gauges as NaN/0; the merge
+    must prefer the authoritative real reading in either order."""
+    nan_text = "# TYPE g_depth gauge\ng_depth nan\n"
+    real_text = "# TYPE g_depth gauge\ng_depth 7\n"
+    for order in ([nan_text, real_text], [real_text, nan_text]):
+        merged = parse_prometheus(merge_expositions(order))
+        assert merged[("g_depth", "")] == 7.0
+
+
+# -- label escaping round trips ------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [
+    'quote " inside',
+    "back\\slash",
+    "new\nline",
+    'all \\ of " them\n at once',
+    "",
+])
+def test_escaped_label_values_round_trip(registry, value):
+    registry.counter("esc_total", labels={"v": value}).inc(5)
+    parsed = parse_prometheus(registry.render())
+    ((labels,),) = [[labels] for (name, labels) in parsed
+                    if name == "esc_total"]
+    assert parse_label_string(labels) == {"v": value}
+    assert parsed[("esc_total", labels)] == 5.0
+
+
+def test_empty_label_instruments_round_trip(registry):
+    registry.counter("plain_total").inc(2)
+    parsed = parse_prometheus(registry.render())
+    assert parsed[("plain_total", "")] == 2.0
+    assert parse_label_string("") == {}
+    assert parse_label_string("{}") == {}
+
+
+def test_parse_label_string_decodes_multiple_pairs():
+    decoded = parse_label_string(
+        r'{path="a\"b\\c\nd",scenario="kwai_food:sasrec"}')
+    assert decoded == {"path": 'a"b\\c\nd',
+                       "scenario": "kwai_food:sasrec"}
+
+
+@pytest.mark.parametrize("bad", ["{unclosed", '{k=unquoted}', '{k="open}'])
+def test_parse_label_string_rejects_malformed(bad):
+    with pytest.raises(ValueError, match="malformed"):
+        parse_label_string(bad)

@@ -1,0 +1,126 @@
+"""`repro top`: pure rendering, sparklines, and the shared watch loop."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.top import (_qps_points, render_dashboard, sparkline,
+                           watch_loop)
+
+
+def snapshot(**overrides) -> dict:
+    base = {
+        "url": "http://127.0.0.1:8765",
+        "time": 1_700_000_000.0,
+        "stats": {
+            "scenarios": {
+                "kwai_food:sasrec": {
+                    "requests": 120, "cache_hits": 30, "cache_misses": 90,
+                    "latency_ms": {"p50": 1.5, "p99": 9.0, "count": 120}}},
+            "pool": {"mode": "in-process", "workers": 0}},
+        "health": {"status": "ok", "monitoring": True},
+        "alerts": {"active": []},
+        "timeline": {"series": [
+            {"kind": "counter",
+             "points": [[1.0, 5.0], [2.0, 10.0], [3.0, 7.5]]}]},
+    }
+    base.update(overrides)
+    return base
+
+
+# -- sparkline -----------------------------------------------------------------
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+    ramp = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert ramp[0] == "▁" and ramp[-1] == "█"
+    assert len(sparkline(range(100), width=32)) == 32
+
+
+def test_qps_points_sum_counter_series_by_tick():
+    payload = {"series": [
+        {"kind": "counter", "points": [[1.0, 2.0], [2.0, 3.0]]},
+        {"kind": "counter", "points": [[1.0, 1.0], [2.0, None]]},
+        {"kind": "gauge", "points": [[1.0, 99.0]]},
+    ]}
+    assert _qps_points(payload) == [3.0, 3.0]
+
+
+# -- dashboard rendering -------------------------------------------------------
+
+
+def test_render_dashboard_healthy_in_process():
+    text = render_dashboard(snapshot())
+    assert "repro top — http://127.0.0.1:8765" in text
+    assert "health: OK" in text
+    assert "monitoring: on" in text
+    assert "qps" in text and "req/s" in text
+    assert "kwai_food:sasrec" in text
+    assert "25.0" in text            # 30 hits / 120 lookups
+    assert "pool: in-process" in text
+    assert "active alerts" not in text
+
+
+def test_render_dashboard_pool_topology_and_alerts():
+    text = render_dashboard(snapshot(
+        stats={"scenarios": {},
+               "pool": {"mode": "pool", "workers": 2, "alive": 1,
+                        "per_worker": [
+                            {"pid": 100, "alive": True},
+                            {"pid": 101, "alive": False}]},
+               "stream": {"totals": {"swaps": 4, "swaps_rejected": 1,
+                                     "events_total": 64,
+                                     "max_staleness_s": 12.5}}},
+        health={"status": "degraded", "monitoring": True},
+        alerts={"active": [
+            {"rule": "pool_worker_death", "severity": "degraded",
+             "cause": "repro_pool_worker_deaths_total = 1 > 0"}]}))
+    assert "health: DEGRADED" in text
+    assert "pool: 1/2 workers alive" in text
+    assert "pid 100:up" in text and "pid 101:DOWN" in text
+    assert "stream: swaps 4 (1 rejected), events 64" in text
+    assert "max staleness 12.5 s" in text
+    assert "active alerts:" in text
+    assert "[degraded] pool_worker_death:" in text
+
+
+def test_render_dashboard_tolerates_monitoring_off():
+    text = render_dashboard(snapshot(
+        health={"status": "ok", "monitoring": False},
+        alerts={"active": []}, timeline={}))
+    assert "monitoring: off" in text
+    assert "req/s" not in text       # no timeline → no sparkline row
+
+
+def test_render_dashboard_missing_latency_shows_dashes():
+    text = render_dashboard(snapshot(
+        stats={"scenarios": {"a:b": {"requests": 0}},
+               "pool": {"mode": "in-process"}}))
+    assert "a:b" in text
+    lines = [line for line in text.splitlines()
+             if line.startswith("a:b")]
+    assert "-" in lines[0]
+
+
+# -- watch loop ----------------------------------------------------------------
+
+
+def test_watch_loop_once_renders_single_frame_without_clearing():
+    out = io.StringIO()
+    code = watch_loop(lambda: "frame", once=True, out=out)
+    assert code == 0
+    assert out.getvalue() == "frame\n"
+    assert "\x1b[2J" not in out.getvalue()
+
+
+def test_watch_loop_iterations_clear_and_redraw():
+    frames = iter(["one", "two"])
+    out = io.StringIO()
+    code = watch_loop(lambda: next(frames), interval_s=0.0,
+                      iterations=2, out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert text.count("\x1b[2J\x1b[H") == 2
+    assert "one\n" in text and "two\n" in text

@@ -51,7 +51,9 @@ def _post(server, path, payload):
 
 def test_health_and_scenarios(server):
     status, health = _get(server, "/health")
-    assert status == 200 and health == {"status": "ok", "scenarios": 2}
+    assert status == 200 and health == {"status": "ok",
+                                        "monitoring": False,
+                                        "causes": [], "scenarios": 2}
     status, scenarios = _get(server, "/scenarios")
     assert {f"{s['dataset']}:{s['model']}" for s in scenarios} == \
         {"kwai_food:sasrec", "bili_food:pmmrec-text"}

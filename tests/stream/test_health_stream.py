@@ -1,0 +1,130 @@
+"""Stream-side health rules: gate-rejection streaks and swap staleness.
+
+The forced-rejection tolerance (``gate_tolerance=-1.0``) drives the
+streak deterministically — the *measured* rejection of a genuinely
+poisoned round lives in ``benchmarks/test_health_bench.py``. What these
+tests pin is the wiring: consecutive rejections raise the
+``repro_stream_rejection_streak`` gauge, the ``swap_rejection_streak``
+rule fires without a single served rank changing, and a clean publish
+clears both the streak and the alert.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.health import default_rules
+from repro.stream import StreamConfig, StreamManager, parse_events
+
+from .conftest import make_service
+
+
+def _interactions(dataset, count, rng):
+    events = []
+    for _ in range(count):
+        user = int(rng.integers(0, dataset.num_users))
+        seq = dataset.sequences[user]
+        events.append({"user": user,
+                       "item": int(seq[rng.integers(0, len(seq))])})
+    return events
+
+
+def _stream_service(config: StreamConfig, spec="kwai_food:pmmrec-text"):
+    service = make_service(spec)
+    manager = StreamManager(service, config, start=False)
+    service.attach_stream(manager)
+    return service, manager.worker(*spec.split(":"))
+
+
+def test_rejection_streak_fires_alert_without_touching_ranks(rng):
+    service, worker = _stream_service(StreamConfig(
+        batch_size=4, steps_per_swap=2, gate_tolerance=-1.0, seed=0))
+    monitor = service.enable_monitoring(
+        start=False, rules=default_rules(rejection_streak_limit=2,
+                                         cooldown_s=0.0))
+    try:
+        monitor.timeline.sample()
+        assert monitor.status()["status"] == "ok"
+        history = [int(i) for i in worker.data.split.test[0].history]
+        ranks_before = service.recommend(*worker.key, history, k=10)
+
+        # First rejection: streak 1, below the limit of 2 — still ok.
+        worker.ingest(parse_events(_interactions(worker.data, 8, rng)))
+        worker.run_steps(2)
+        assert worker.swap().kind == "rejected"
+        monitor.timeline.sample()
+        payload = monitor.status()
+        assert payload["status"] == "ok"
+        assert payload["rules"]["swap_rejection_streak"]["value"] == 1.0
+
+        # Second consecutive rejection: the streak rule fires.
+        worker.ingest(parse_events(_interactions(worker.data, 8, rng)))
+        worker.run_steps(2)
+        assert worker.swap().kind == "rejected"
+        monitor.timeline.sample()
+        payload = monitor.status()
+        assert payload["status"] == "degraded"
+        assert [c["rule"] for c in payload["causes"]] == \
+            ["swap_rejection_streak"]
+        assert service.stats()["stream"]["totals"][
+            "max_rejection_streak"] == 2
+
+        # The rejected rounds never reached serving: same ranks, bitwise.
+        ranks_after = service.recommend(*worker.key, history, k=10)
+        assert ranks_after["items"] == ranks_before["items"]
+        np.testing.assert_array_equal(ranks_after["scores"],
+                                      ranks_before["scores"])
+
+        # A clean publish clears the streak and resolves the alert.
+        worker.config.gate_tolerance = 1.0
+        worker.ingest(parse_events(_interactions(worker.data, 8, rng)))
+        worker.run_steps(2)
+        assert worker.swap().kind == "full"
+        monitor.timeline.sample()
+        assert monitor.status()["status"] == "ok"
+        events = [(e["rule"], e["event"])
+                  for e in monitor.alerts()["history"]]
+        assert ("swap_rejection_streak", "fired") in events
+        assert ("swap_rejection_streak", "resolved") in events
+    finally:
+        service.close()
+
+
+def test_staleness_rule_fires_until_a_swap_publishes(rng):
+    service, worker = _stream_service(StreamConfig(
+        batch_size=4, steps_per_swap=2, gate_tolerance=1.0, seed=0))
+    monitor = service.enable_monitoring(
+        start=False, rules=default_rules(staleness_limit_s=0.05,
+                                         cooldown_s=0.0))
+    try:
+        time.sleep(0.1)             # no swap for longer than the budget
+        monitor.timeline.sample()
+        payload = monitor.status()
+        assert payload["status"] == "degraded"
+        assert [c["rule"] for c in payload["causes"]] == \
+            ["stream_staleness"]
+        assert service.stats()["stream"]["totals"]["max_staleness_s"] > 0.05
+
+        worker.ingest(parse_events(_interactions(worker.data, 8, rng)))
+        worker.run_steps(2)
+        assert worker.swap().kind == "full"    # publish resets staleness
+        monitor.timeline.sample()
+        assert monitor.status()["status"] == "ok"
+    finally:
+        service.close()
+
+
+def test_stats_json_exposes_rejection_streak(rng):
+    service, worker = _stream_service(StreamConfig(
+        batch_size=4, steps_per_swap=2, gate_tolerance=-1.0, seed=0))
+    try:
+        assert worker.stats_json()["rejection_streak"] == 0
+        worker.ingest(parse_events(_interactions(worker.data, 8, rng)))
+        worker.run_steps(2)
+        worker.swap()
+        assert worker.stats_json()["rejection_streak"] == 1
+    finally:
+        service.close()

@@ -88,3 +88,61 @@ def test_transfer_command(capsys):
     out = capsys.readouterr().out
     assert "pre-training on kwai" in out
     assert "[text_only]" in out
+
+
+def test_serve_smoke_enables_self_monitoring_by_default(capsys):
+    code = main(["serve", "--scenarios", "kwai_food:sasrec",
+                 "--profile", "smoke", "--smoke"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "self-monitoring: sampling every 1s" in out
+    assert "serve smoke: PASS" in out
+
+
+def test_serve_smoke_no_monitor_flag(capsys):
+    code = main(["serve", "--scenarios", "kwai_food:sasrec",
+                 "--profile", "smoke", "--smoke", "--no-monitor"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "self-monitoring" not in out
+
+
+@pytest.fixture()
+def live_server():
+    from repro.serve import ModelRegistry, RecommendationService, make_server
+    registry = ModelRegistry(profile="smoke", dtype="float32")
+    registry.add("kwai_food:sasrec", seed=0)
+    service = RecommendationService(registry, max_batch=8, cache_size=64)
+    monitor = service.enable_monitoring(start=False)
+    monitor.timeline.sample()
+    server = make_server(service, port=0)
+    server.start_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def test_top_once_renders_dashboard(capsys, live_server):
+    assert main(["top", "--once", "--url", live_server.url]) == 0
+    out = capsys.readouterr().out
+    assert "repro top —" in out
+    assert "health: OK" in out
+    assert "monitoring: on" in out
+    assert "\x1b[2J" not in out          # --once never clears the screen
+
+
+def test_stats_command_tabulates_metrics(capsys, live_server):
+    assert main(["stats", "--url", live_server.url]) == 0
+    out = capsys.readouterr().out
+    assert "repro_http_requests_total" in out
+
+
+def test_stats_watch_reuses_refresh_loop(capsys, live_server, monkeypatch):
+    import repro.obs.top as top
+    monkeypatch.setattr(top.time, "sleep",
+                        lambda _s: (_ for _ in ()).throw(KeyboardInterrupt))
+    assert main(["stats", "--watch", "5", "--url", live_server.url]) == 0
+    out = capsys.readouterr().out
+    assert "repro_http_requests_total" in out
+    assert "\x1b[2J" in out              # the clear-and-redraw loop ran
